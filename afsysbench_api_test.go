@@ -1,0 +1,103 @@
+package afsysbench
+
+import (
+	"errors"
+	"testing"
+)
+
+// The public API is an aliased surface over the internal packages; these
+// tests exercise a downstream user's workflow end to end through it.
+
+func TestPublicSurfaceBasics(t *testing.T) {
+	if len(Samples()) != 5 || len(SampleNames()) != 5 {
+		t.Fatal("sample set wrong")
+	}
+	if len(Platforms()) != 4 || len(TwoPlatforms()) != 2 {
+		t.Fatal("platform set wrong")
+	}
+	if len(RNASweep()) != 4 {
+		t.Fatal("RNA sweep wrong")
+	}
+	if _, err := SampleByName("promo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlatformByName("Desktop"); err != nil {
+		t.Fatal(err)
+	}
+	if Server().CPU.Vendor != "Intel" || Desktop().CPU.Vendor != "AMD" {
+		t.Error("platform constructors wrong")
+	}
+	if ServerWithCXL().CXLBytes == 0 || DesktopUpgraded().DRAMBytes <= Desktop().DRAMBytes {
+		t.Error("platform variants wrong")
+	}
+}
+
+func TestPublicPipelineWorkflow(t *testing.T) {
+	suite, err := NewSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := SampleByName("2PV7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := suite.RunPipeline(in, Desktop(), PipelineOptions{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MSASeconds <= 0 || res.Inference.Total() <= 0 {
+		t.Fatal("phase times not positive through the public API")
+	}
+	if res.MSAFraction() < 0.5 {
+		t.Errorf("MSA fraction %.2f through public API", res.MSAFraction())
+	}
+}
+
+func TestPublicMemoryWorkflow(t *testing.T) {
+	sweep := RNASweep()
+	big := sweep[len(sweep)-1]
+	est := MemoryCheck(big, ServerWithCXL(), 8)
+	if est.Verdict.String() != "OOM" {
+		t.Errorf("1335-residue RNA verdict = %v, want OOM", est.Verdict)
+	}
+	if MaxSafeRNALength(ServerWithCXL()) <= MaxSafeRNALength(Server()) {
+		t.Error("CXL must raise the safe RNA boundary")
+	}
+
+	suite, err := NewSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = suite.RunPipeline(big, ServerWithCXL(), PipelineOptions{Threads: 8})
+	var oom ErrProjectedOOM
+	if !errors.As(err, &oom) {
+		t.Fatalf("expected projected-OOM error, got %v", err)
+	}
+}
+
+func TestPublicMachineSubstitution(t *testing.T) {
+	qnr, _ := SampleByName("6QNR")
+	if got := MachineFor(qnr, Desktop()); got.Name != "Desktop-128G" {
+		t.Errorf("6QNR on stock desktop resolved to %s, want the DRAM upgrade", got.Name)
+	}
+	small, _ := SampleByName("2PV7")
+	if got := MachineFor(small, Desktop()); got.Name != "Desktop" {
+		t.Errorf("2PV7 must keep the stock desktop, got %s", got.Name)
+	}
+}
+
+func TestPublicFigure2(t *testing.T) {
+	rows := Figure2()
+	if len(rows) != 4 || rows[0].PeakGiB <= 0 {
+		t.Fatalf("Figure2 rows: %+v", rows)
+	}
+}
+
+func TestPublicThreadSweeps(t *testing.T) {
+	if len(MSAThreadSweep) != 5 || MSAThreadSweep[0] != 1 || MSAThreadSweep[4] != 8 {
+		t.Error("MSA sweep wrong")
+	}
+	if len(InferenceThreadSweep) != 4 || InferenceThreadSweep[3] != 6 {
+		t.Error("inference sweep wrong")
+	}
+}

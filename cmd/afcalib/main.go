@@ -1,0 +1,95 @@
+// Command afcalib prints the raw simulated numbers behind every paper
+// artifact — the calibration matrix maintainers check after touching any
+// machine-model constant. It sweeps the Table II samples across both
+// platforms and 1–8 threads, printing simulated MSA seconds, speedups and
+// the Table III counters per cell.
+//
+// Usage:
+//
+//	afcalib                      # full matrix
+//	afcalib -samples 2PV7,promo  # subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"afsysbench/internal/inputs"
+	"afsysbench/internal/msa"
+	"afsysbench/internal/platform"
+	"afsysbench/internal/simhw"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "afcalib:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("afcalib", flag.ContinueOnError)
+	samplesFlag := fs.String("samples", "2PV7,1YY9,promo,6QNR", "samples to sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := strings.Split(*samplesFlag, ",")
+	return sweep(w, names, []int{1, 2, 4, 6, 8})
+}
+
+// sweep prints the calibration matrix for the given samples and thread
+// counts.
+func sweep(w io.Writer, names []string, threads []int) error {
+	dbs, err := msa.BuildDBSet(inputs.Samples(), msa.DefaultDBConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "DB modeled total: %.1f GiB\n", float64(dbs.ModeledBytes())/(1<<30))
+
+	for _, name := range names {
+		in, err := inputs.ByName(name)
+		if err != nil {
+			return err
+		}
+		r1, err := msa.Run(in, msa.Options{Threads: 1, DBs: dbs})
+		if err != nil {
+			return err
+		}
+		cand := 0
+		for _, c := range r1.PerChain {
+			cand += c.Candidates
+		}
+		fmt.Fprintf(w, "\n=== %s (N=%d) cand=%d hitRes=%d paired=%d ===\n",
+			name, in.TotalResidues(), cand, r1.TotalHitResidues, len(r1.Pairing.Rows))
+		for _, mach := range []platform.Machine{platform.Server(), platform.Desktop()} {
+			fmt.Fprintf(w, "%-8s:", mach.Name)
+			var t1 float64
+			for _, t := range threads {
+				res, err := msa.Run(in, msa.Options{Threads: t, DBs: dbs})
+				if err != nil {
+					return err
+				}
+				sim := simhw.Simulate(msa.BuildRunSpec(mach, res))
+				if t == threads[0] {
+					t1 = sim.Seconds
+				}
+				fmt.Fprintf(w, "  %dT=%6.1fs(x%.2f)", t, sim.Seconds, t1/sim.Seconds)
+			}
+			fmt.Fprintln(w)
+			for _, t := range []int{1, 4, 6} {
+				res, err := msa.Run(in, msa.Options{Threads: t, DBs: dbs})
+				if err != nil {
+					return err
+				}
+				sim := simhw.Simulate(msa.BuildRunSpec(mach, res))
+				a := sim.Aggregate
+				fmt.Fprintf(w, "   %dT IPC=%.2f MPKI=%.1f L1=%.2f%% LLC=%.1f%% dTLB=%.2f%% Br=%.2f%% bw=%.2f clk=%.2f\n",
+					t, a.IPC(), a.CacheMissMPKI(), a.L1MissPct(), a.LLCMissPct(), a.DTLBMissPct(), a.BranchMissPct(), sim.BandwidthUtil, sim.ClockGHz)
+			}
+		}
+	}
+	return nil
+}

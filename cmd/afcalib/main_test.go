@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSweepOneSample(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-samples", "2PV7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DB modeled total", "2PV7", "Server", "Desktop", "IPC=", "LLC=", "dTLB="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("calibration output missing %q", want)
+		}
+	}
+}
+
+func TestSweepUnknownSample(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-samples", "nope"}, &buf); err == nil {
+		t.Error("unknown sample accepted")
+	}
+}

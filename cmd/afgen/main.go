@@ -1,0 +1,96 @@
+// Command afgen materializes the suite's synthetic artifacts to disk: the
+// reference sequence databases (binary format) and the Table II input
+// samples (AF3 JSON plus FASTA) — useful for inspecting what the searches
+// run against or for feeding external tools.
+//
+// Usage:
+//
+//	afgen -out ./data
+//	afgen -out ./data -seqs 500    # larger synthetic databases
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"afsysbench/internal/inputs"
+	"afsysbench/internal/msa"
+	"afsysbench/internal/seq"
+	"afsysbench/internal/seqdb"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "afgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("afgen", flag.ContinueOnError)
+	out := fs.String("out", "afsysbench-data", "output directory")
+	seqs := fs.Int("seqs", msa.DefaultDBConfig().SeqsPerDB, "records per synthetic database")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(filepath.Join(*out, "db"), 0o755); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Join(*out, "inputs"), 0o755); err != nil {
+		return err
+	}
+
+	cfg := msa.DefaultDBConfig()
+	cfg.SeqsPerDB = *seqs
+	dbs, err := msa.BuildDBSet(inputs.Samples(), cfg)
+	if err != nil {
+		return err
+	}
+	for _, db := range append(append([]*seqdb.DB{}, dbs.Protein...), dbs.RNA...) {
+		if err := writeDB(*out, db); err != nil {
+			return err
+		}
+	}
+
+	for _, in := range append(inputs.Samples(), inputs.RNASweep()...) {
+		jsonPath := filepath.Join(*out, "inputs", in.Name+".json")
+		if err := writeFile(jsonPath, func(f *os.File) error { return in.Write(f) }); err != nil {
+			return err
+		}
+		var chains []*seq.Sequence
+		for _, c := range in.Chains {
+			chains = append(chains, c.Sequence)
+		}
+		fastaPath := filepath.Join(*out, "inputs", in.Name+".fasta")
+		if err := writeFile(fastaPath, func(f *os.File) error { return seq.WriteFASTA(f, chains) }); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (+.fasta)\n", jsonPath)
+	}
+	return nil
+}
+
+func writeDB(out string, db *seqdb.DB) error {
+	path := filepath.Join(out, "db", db.Name+".afdb")
+	if err := writeFile(path, func(f *os.File) error { return db.Write(f) }); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d records, models %.1f GiB)\n", path, db.NumSeqs(), float64(db.ModeledBytes())/(1<<30))
+	return nil
+}
+
+// writeFile creates path and streams content through fn, closing cleanly.
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

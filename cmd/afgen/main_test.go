@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-seqs", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		filepath.Join(dir, "db", "uniref_s.afdb"),
+		filepath.Join(dir, "db", "rfam_s.afdb"),
+		filepath.Join(dir, "inputs", "2PV7.json"),
+		filepath.Join(dir, "inputs", "6QNR.fasta"),
+		filepath.Join(dir, "inputs", "7K00_rna1335.json"),
+	} {
+		if fi, err := os.Stat(want); err != nil || fi.Size() == 0 {
+			t.Errorf("artifact %s missing or empty: %v", want, err)
+		}
+	}
+}
+
+func TestRunBadSeqs(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-seqs", "0"}); err == nil {
+		t.Error("zero records accepted")
+	}
+}

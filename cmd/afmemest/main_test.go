@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSample(t *testing.T) {
+	if err := run([]string{"-sample", "6QNR"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMaxRNA(t *testing.T) {
+	if err := run([]string{"-max-rna"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.json")
+	content := `{"name":"mini","modelSeeds":[1],"sequences":[{"protein":{"id":["A"],"sequence":"ACDEFGHIKLMNPQRSTVWY"}}]}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run([]string{"-sample", "nope"}); err == nil {
+		t.Error("unknown sample accepted")
+	}
+	if err := run([]string{"-input", "/does/not/exist.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

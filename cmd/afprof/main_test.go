@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestRunMSAProfile(t *testing.T) {
+	if err := run([]string{"-sample", "2PV7", "-machine", "Server", "-threads", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	if err := run([]string{"-sample", "2PV7", "-machine", "Server", "-compare"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	if err := run([]string{"-sample", "2PV7", "-machine", "Desktop", "-phase", "timeline"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInferencePhase(t *testing.T) {
+	if err := run([]string{"-sample", "2PV7", "-machine", "Server", "-phase", "inference"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-sample", "nope"}); err == nil {
+		t.Error("unknown sample accepted")
+	}
+	if err := run([]string{"-sample", "2PV7", "-machine", "Cray"}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := run([]string{"-sample", "2PV7", "-phase", "bogus"}); err == nil {
+		t.Error("unknown phase accepted")
+	}
+	if err := run([]string{"-sample", "2PV7", "-metric", "bogus"}); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestRunHits(t *testing.T) {
+	if err := run([]string{"-sample", "2PV7", "-phase", "hits"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLayers(t *testing.T) {
+	if err := run([]string{"-sample", "2PV7", "-machine", "Server", "-phase", "layers"}); err != nil {
+		t.Fatal(err)
+	}
+}

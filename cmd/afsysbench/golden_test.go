@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// Golden snapshots for the fully deterministic experiments: the platform
+// and sample tables and the Figure 2 memory sweep. These catch accidental
+// drift in the encoded paper facts or the render format.
+
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if runErr != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", runErr, out)
+	}
+	return out
+}
+
+func TestGoldenFigure2(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-exp", "fig2"}) })
+	want := strings.TrimLeft(`
+Figure 2: peak memory vs RNA sequence length (nhmmer)
+  main memory: 512 GiB; with CXL expansion: 768 GiB
+RNA length  peak GiB  server           server+CXL  provenance
+----------  --------  ---------------  ----------  ----------------------------------------
+621         79.3      OK               OK          measured
+935         506.0     NEEDS-EXPANSION  OK          measured
+1135        644.0     NEEDS-EXPANSION  OK          measured, required CXL expansion
+1335        810.0     OOM              OOM         projected (run OOM-killed above 768 GiB)
+`, "\n")
+	if out != want {
+		t.Errorf("figure 2 output drifted:\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}
+
+func TestGoldenTable1ContainsPaperFacts(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-exp", "tab1"}) })
+	for _, fact := range []string{
+		"Intel Xeon Gold 5416S", "16/32", "2.0/4.0 GHz", "30 MiB", "512 GiB", "H100",
+		"AMD Ryzen 9 7900X", "12/24", "4.7/5.6 GHz", "64 MiB", "RTX 4080",
+	} {
+		if !strings.Contains(out, fact) {
+			t.Errorf("Table I missing %q", fact)
+		}
+	}
+}
+
+func TestGoldenTable2ContainsSampleFacts(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-exp", "tab2"}) })
+	for _, fact := range []string{"2PV7", "484", "7RCE", "306", "1YY9", "881", "promo", "857", "6QNR", "1395", "600"} {
+		if !strings.Contains(out, fact) {
+			t.Errorf("Table II missing %q", fact)
+		}
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	a := captureStdout(t, func() error { return run([]string{"-exp", "fig2"}) })
+	b := captureStdout(t, func() error { return run([]string{"-exp", "fig2"}) })
+	if a != b {
+		t.Error("deterministic experiment produced different output across runs")
+	}
+}

@@ -1,0 +1,338 @@
+// Command afsysbench runs the AFSysBench-Go benchmark suite: the AlphaFold3
+// pipeline reproduction (MSA phase + inference phase) over the paper's
+// samples, platforms and thread counts, printing any of the paper's tables
+// and figures.
+//
+// Usage:
+//
+//	afsysbench -list platforms          # Table I
+//	afsysbench -list samples            # Table II
+//	afsysbench -exp fig3                # any of fig2..fig9, tab3..tab6, all
+//	afsysbench -exp fig4 -samples 2PV7,promo
+//	afsysbench -exp fig3 -threads 1,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"afsysbench/internal/core"
+	"afsysbench/internal/hmmer"
+	"afsysbench/internal/platform"
+	"afsysbench/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "afsysbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("afsysbench", flag.ContinueOnError)
+	list := fs.String("list", "", "list 'platforms' (Table I) or 'samples' (Table II)")
+	exp := fs.String("exp", "", "experiment id: fig2..fig9, tab3..tab6, or 'all'")
+	samplesFlag := fs.String("samples", "", "comma-separated sample subset (default: all five)")
+	threadsFlag := fs.String("threads", "", "comma-separated thread counts for fig3 (default 1,2,4,6,8)")
+	runs := fs.Int("runs", 3, "repetitions for mean/CV experiments")
+	csvDir := fs.String("csv", "", "also write <dir>/<exp>.csv for each experiment")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	switch *list {
+	case "platforms":
+		return report.RenderPlatforms(w)
+	case "samples":
+		return report.RenderSamples(w)
+	case "":
+	default:
+		return fmt.Errorf("unknown -list target %q", *list)
+	}
+	if *exp == "" {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -list or -exp")
+	}
+
+	samples := core.SampleNames()
+	if *samplesFlag != "" {
+		samples = strings.Split(*samplesFlag, ",")
+	}
+	threads := core.MSAThreadSweep
+	if *threadsFlag != "" {
+		threads = nil
+		for _, part := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -threads value %q: %w", part, err)
+			}
+			threads = append(threads, n)
+		}
+	}
+
+	suite, err := core.NewSuite()
+	if err != nil {
+		return err
+	}
+	suite.Runs = *runs
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"tab1", "tab2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "tab3", "tab4", "tab5", "tab6", "batch", "sens"}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := runExperiment(suite, id, samples, threads, *csvDir); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func runExperiment(suite *core.Suite, id string, samples []string, threads []int, csvDir string) error {
+	w := os.Stdout
+	machines := core.TwoPlatforms()
+	emit := func(headers []string, rows [][]string) error {
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(csvDir, id+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := report.CSV(f, headers, rows); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	switch id {
+	case "tab1":
+		return report.RenderPlatforms(w)
+	case "tab2":
+		return report.RenderSamples(w)
+	case "fig2":
+		rows := core.Figure2()
+		if err := report.RenderFigure2(w, rows); err != nil {
+			return err
+		}
+		h, rr := report.CSVFigure2(rows)
+		return emit(h, rr)
+	case "fig3":
+		rows, err := suite.Figure3(samples, machines, threads)
+		if err != nil {
+			return err
+		}
+		if err := report.RenderFigure3(w, rows); err != nil {
+			return err
+		}
+		h, rr := report.CSVFigure3(rows)
+		return emit(h, rr)
+	case "fig4":
+		rows, err := suite.Figure4(samples, machines)
+		if err != nil {
+			return err
+		}
+		if err := report.RenderScaling(w, "Figure 4: MSA execution time across 1-8 threads", rows); err != nil {
+			return err
+		}
+		h, rr := report.CSVScaling(rows)
+		return emit(h, rr)
+	case "fig5":
+		rows, err := suite.Figure5()
+		if err != nil {
+			return err
+		}
+		if err := report.RenderScaling(w, "Figure 5: 6QNR thread-level performance and speedup", rows); err != nil {
+			return err
+		}
+		h, rr := report.CSVScaling(rows)
+		return emit(h, rr)
+	case "fig6":
+		rows, err := suite.Figure6(samples, machines)
+		if err != nil {
+			return err
+		}
+		if err := report.RenderFigure6(w, rows); err != nil {
+			return err
+		}
+		h, rr := report.CSVFigure6(rows)
+		return emit(h, rr)
+	case "fig7":
+		rows, err := suite.Figure7(samples, machines)
+		if err != nil {
+			return err
+		}
+		if err := report.RenderFigure7(w, rows); err != nil {
+			return err
+		}
+		h, rr := report.CSVFigure7(rows)
+		return emit(h, rr)
+	case "fig8":
+		rows, err := suite.Figure8(pick(samples, "2PV7", "1YY9", "promo"), machines)
+		if err != nil {
+			return err
+		}
+		if err := report.RenderFigure8(w, rows); err != nil {
+			return err
+		}
+		h, rr := report.CSVFigure8(rows)
+		return emit(h, rr)
+	case "fig9":
+		rows, err := suite.Figure9()
+		if err != nil {
+			return err
+		}
+		if err := report.RenderFigure9(w, rows); err != nil {
+			return err
+		}
+		h, rr := report.CSVFigure9(rows)
+		return emit(h, rr)
+	case "tab3":
+		cells, err := suite.Table3(pick(samples, "2PV7", "promo"))
+		if err != nil {
+			return err
+		}
+		if err := report.RenderTable3(w, cells); err != nil {
+			return err
+		}
+		h, rr := report.CSVTable3(cells)
+		return emit(h, rr)
+	case "tab4":
+		names := pick(samples, "2PV7", "promo")
+		rows, err := suite.Table4(names)
+		if err != nil {
+			return err
+		}
+		var cols []string
+		for _, n := range names {
+			cols = append(cols, n+"/1T", n+"/4T")
+		}
+		if err := report.RenderTable4(w, rows, cols); err != nil {
+			return err
+		}
+		h, rr := report.CSVTable4(rows)
+		return emit(h, rr)
+	case "tab5":
+		rows, err := suite.Table5(pick(samples, "2PV7", "promo", "6QNR"))
+		if err != nil {
+			return err
+		}
+		if err := report.RenderTable5(w, rows); err != nil {
+			return err
+		}
+		h, rr := report.CSVTable5(rows)
+		return emit(h, rr)
+	case "tab6":
+		rows, err := suite.Table6()
+		if err != nil {
+			return err
+		}
+		if err := report.RenderTable6(w, rows); err != nil {
+			return err
+		}
+		h, rr := report.CSVTable6(rows)
+		return emit(h, rr)
+	case "batch":
+		return runBatchExperiment(suite, emit)
+	case "sens":
+		return runSensitivityExperiment(emit)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+}
+
+// runBatchExperiment prints the deployment-strategy comparison (the §VI
+// persistent-model and ParaFold-style pipelining extensions).
+// runSensitivityExperiment prints the search engine's homolog-recovery
+// curve and decoy false-positive rate (the quality the paper says keeps
+// jackhmmer/nhmmer in the pipeline despite their cost).
+func runSensitivityExperiment(emit func([]string, [][]string) error) error {
+	w := os.Stdout
+	fmt.Fprintln(w, "Search sensitivity (extension: engine quality regression)")
+	rates := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+	rep, err := hmmer.EvaluateSensitivity(rates, hmmer.SensitivityOptions{Seed: 1, PerRate: 12, Decoys: 300})
+	if err != nil {
+		return err
+	}
+	headers := []string{"divergence", "planted", "recovered", "recovery_pct"}
+	var rows [][]string
+	for _, p := range rep.Points {
+		rows = append(rows, []string{
+			report.F2(p.Divergence),
+			fmt.Sprint(p.Planted),
+			fmt.Sprint(p.Recovered),
+			report.F1(100 * p.Recovery()),
+		})
+	}
+	if err := report.Table(w, headers, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "false positives: %d / %d decoys (%.2f%%) at E <= 1e-3\n",
+		rep.FalsePositives, rep.Decoys, 100*rep.FalsePositiveRate())
+	return emit(headers, rows)
+}
+
+func runBatchExperiment(suite *core.Suite, emit func([]string, [][]string) error) error {
+	w := os.Stdout
+	fmt.Fprintln(w, "Batch deployment comparison (extension: §VI persistent model + pipelining)")
+	queue := []string{"2PV7", "1YY9", "7RCE", "promo", "2PV7", "1YY9", "7RCE", "2PV7"}
+	configs := []struct {
+		label string
+		opts  core.BatchOptions
+	}{
+		{"sequential-cold", core.BatchOptions{Threads: 6}},
+		{"persistent-model", core.BatchOptions{Threads: 6, WarmModel: true}},
+		{"pipelined", core.BatchOptions{Threads: 6, Pipelined: true}},
+		{"pipelined+persistent", core.BatchOptions{Threads: 6, Pipelined: true, WarmModel: true}},
+	}
+	headers := []string{"deployment", "makespan_s", "requests_per_hour", "cpu_util_pct", "gpu_util_pct"}
+	var rows [][]string
+	for _, cfg := range configs {
+		res, err := suite.RunBatch(queue, platform.Server(), cfg.opts)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			cfg.label,
+			report.F0(res.Makespan),
+			report.F1(res.Throughput()),
+			report.F1(100 * res.CPUBusy / res.Makespan),
+			report.F1(100 * res.GPUBusy / res.Makespan),
+		})
+	}
+	if err := report.Table(w, headers, rows); err != nil {
+		return err
+	}
+	return emit(headers, rows)
+}
+
+// pick intersects the user's sample list with the experiment's defaults,
+// falling back to the defaults when the intersection is empty.
+func pick(samples []string, defaults ...string) []string {
+	set := map[string]bool{}
+	for _, s := range samples {
+		set[s] = true
+	}
+	var out []string
+	for _, d := range defaults {
+		if set[d] {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		return defaults
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	for _, target := range []string{"platforms", "samples"} {
+		if err := run([]string{"-list", target}); err != nil {
+			t.Errorf("-list %s: %v", target, err)
+		}
+	}
+	if err := run([]string{"-list", "bogus"}); err == nil {
+		t.Error("bogus list target accepted")
+	}
+}
+
+func TestRunRequiresWork(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+}
+
+func TestRunFig2WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "fig2", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig2.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadThreads(t *testing.T) {
+	if err := run([]string{"-exp", "fig3", "-threads", "two"}); err == nil {
+		t.Error("bad threads value accepted")
+	}
+}
+
+func TestPick(t *testing.T) {
+	got := pick([]string{"2PV7", "6QNR"}, "2PV7", "promo")
+	if len(got) != 1 || got[0] != "2PV7" {
+		t.Errorf("pick = %v", got)
+	}
+	got = pick([]string{"6QNR"}, "2PV7", "promo")
+	if len(got) != 2 {
+		t.Errorf("fallback pick = %v", got)
+	}
+}

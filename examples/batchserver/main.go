@@ -1,0 +1,79 @@
+// Batchserver: combine the paper's §VI persistent-model recommendation with
+// ParaFold-style CPU/GPU pipelining (Related Work) and measure what they
+// buy over AF3's stock one-request-per-container deployment.
+//
+//	go run ./examples/batchserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"afsysbench/internal/core"
+	"afsysbench/internal/platform"
+	"afsysbench/internal/report"
+	"afsysbench/internal/trace"
+)
+
+func main() {
+	suite, err := core.NewSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mach := platform.Server()
+
+	// A mixed request queue.
+	queue := []string{"2PV7", "1YY9", "7RCE", "promo", "2PV7", "1YY9", "7RCE", "2PV7"}
+	fmt.Printf("serving %d requests on %s\n\n", len(queue), mach.Name)
+
+	configs := []struct {
+		label string
+		opts  core.BatchOptions
+	}{
+		{"stock (sequential, cold model)", core.BatchOptions{Threads: 6}},
+		{"persistent model (§VI)", core.BatchOptions{Threads: 6, WarmModel: true}},
+		{"pipelined CPU/GPU (ParaFold-style)", core.BatchOptions{Threads: 6, Pipelined: true}},
+		{"pipelined + persistent", core.BatchOptions{Threads: 6, Pipelined: true, WarmModel: true}},
+	}
+
+	var rows [][]string
+	var base float64
+	var pipelined *core.BatchResult
+	for i, cfg := range configs {
+		res, err := suite.RunBatch(queue, mach, cfg.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = res.Makespan
+		}
+		if i == len(configs)-1 {
+			pipelined = res
+		}
+		rows = append(rows, []string{
+			cfg.label,
+			report.F0(res.Makespan) + "s",
+			fmt.Sprintf("%.1f/h", res.Throughput()),
+			report.Pct(100 * res.CPUBusy / res.Makespan),
+			report.Pct(100 * res.GPUBusy / res.Makespan),
+			fmt.Sprintf("%.2fx", base/res.Makespan),
+		})
+	}
+	if err := report.Table(os.Stdout, []string{"deployment", "makespan", "throughput", "CPU util", "GPU util", "speedup"}, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// The pipelined schedule as a two-lane gantt: the CPU runs the next
+	// request's MSA while the GPU infers the previous one.
+	fmt.Println()
+	var lanes trace.Lanes
+	lanes.Title = "pipelined + persistent schedule"
+	for _, item := range pipelined.Items {
+		lanes.AddSpan("CPU (MSA)", item.Sample, item.Start, item.Start+item.MSASeconds)
+		lanes.AddSpan("GPU (inference)", item.Sample, item.Finish-item.InferenceSeconds, item.Finish)
+	}
+	if err := lanes.Render(os.Stdout, 76); err != nil {
+		log.Fatal(err)
+	}
+}

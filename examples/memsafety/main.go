@@ -1,0 +1,51 @@
+// Memsafety: the Figure 2 / Section VI workflow — screen RNA-bearing inputs
+// with the static memory estimator before launching, instead of letting the
+// OS OOM-killer find out for you (which is what stock AlphaFold3 does).
+//
+//	go run ./examples/memsafety
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"afsysbench/internal/core"
+	"afsysbench/internal/inputs"
+	"afsysbench/internal/memest"
+	"afsysbench/internal/platform"
+)
+
+func main() {
+	suite, err := core.NewSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mach := platform.ServerWithCXL()
+	fmt.Printf("screening the Figure 2 RNA sweep on %s (%d GiB total memory)\n\n",
+		mach.Name, mach.TotalMemBytes()>>30)
+
+	for _, in := range inputs.RNASweep() {
+		est := memest.Check(in, mach, 8)
+		fmt.Printf("RNA %4d residues: projected peak %5.0f GiB -> %s\n",
+			in.MaxRNALength(), float64(est.PeakBytes)/(1<<30), est.Verdict)
+
+		// The pipeline enforces the same gate: a projected-OOM input is
+		// rejected before any compute is spent.
+		_, err := suite.RunPipeline(in, mach, core.PipelineOptions{Threads: 8})
+		var oom core.ErrProjectedOOM
+		switch {
+		case errors.As(err, &oom):
+			fmt.Printf("  pipeline refused: %v\n", err)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			fmt.Printf("  pipeline ran to completion\n")
+		}
+	}
+
+	fmt.Println()
+	for _, m := range []platform.Machine{platform.Desktop(), platform.Server(), platform.ServerWithCXL()} {
+		fmt.Printf("longest safe RNA chain on %-12s %d residues\n", m.Name+":", memest.MaxSafeRNALength(m))
+	}
+}

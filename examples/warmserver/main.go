@@ -1,0 +1,63 @@
+// Warmserver: the Section VI "persistent model state" optimization — keep
+// the model initialized between requests instead of paying GPU init and XLA
+// compilation per inference (AF3's Docker-per-request deployment). The
+// example serves a batch of requests both ways and reports the speedup.
+//
+//	go run ./examples/warmserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"afsysbench/internal/core"
+	"afsysbench/internal/inputs"
+	"afsysbench/internal/platform"
+)
+
+func main() {
+	suite, err := core.NewSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mach := platform.Server()
+
+	// A request mix: repeated predictions over the protein samples, the
+	// interactive workload where first-request latency matters.
+	var batch []string
+	for i := 0; i < 4; i++ {
+		batch = append(batch, "2PV7", "7RCE", "1YY9")
+	}
+
+	var coldTotal, warmTotal float64
+	for i, name := range batch {
+		in, err := inputs.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Cold deployment: every request re-initializes (paper: "each
+		// inference request incurs repeated model initialization").
+		cold, err := suite.InferenceOnly(in, mach, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		coldTotal += cold.Total()
+
+		// Warm server: only the first request pays init+compile; the
+		// persistent process serves the rest.
+		warm, err := suite.InferenceOnly(in, mach, i > 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		warmTotal += warm.Total()
+	}
+
+	n := float64(len(batch))
+	fmt.Printf("served %d inference requests on %s\n\n", len(batch), mach.Name)
+	fmt.Printf("cold per-request deployment: %7.0fs total (%.1fs/request)\n", coldTotal, coldTotal/n)
+	fmt.Printf("persistent model server:     %7.0fs total (%.1fs/request)\n", warmTotal, warmTotal/n)
+	fmt.Printf("throughput improvement:      %.2fx\n", coldTotal/warmTotal)
+	fmt.Println("\n(Section VI: avoiding redundant initialization substantially improves")
+	fmt.Println(" throughput and responsiveness, especially on the server where init and")
+	fmt.Println(" XLA compilation dominate small-input inference.)")
+}

@@ -1,0 +1,3 @@
+module afsysbench
+
+go 1.22

@@ -1,0 +1,81 @@
+package hmmer
+
+import (
+	"math"
+
+	"afsysbench/internal/metering"
+	"afsysbench/internal/seq"
+)
+
+// Forward computes the log-sum-exp Forward score of the target under the
+// profile within the same band used by the Viterbi pass. Forward is the
+// final, most expensive scoring stage (posterior-summed rather than
+// best-path) and runs only on Viterbi survivors; its score feeds the
+// E-value.
+func Forward(p *Profile, target *seq.Sequence, diagonal, halfWidth int, m metering.Meter) float64 {
+	L := target.Len()
+	w := 2*halfWidth + 1
+	prev := make([]float64, w)
+	cur := make([]float64, w)
+	for i := range prev {
+		prev[i] = math.Inf(-1)
+	}
+	total := math.Inf(-1)
+	var cells uint64
+	for i := 0; i < L; i++ {
+		r := int(target.Residues[i])
+		lo := i + diagonal - halfWidth
+		for b := 0; b < w; b++ {
+			j := lo + b
+			if j < 0 || j >= p.M {
+				cur[b] = math.Inf(-1)
+				continue
+			}
+			cells++
+			diag := math.Inf(-1)
+			if b < w {
+				diag = prev[b]
+			}
+			up := math.Inf(-1)
+			if b+1 < w {
+				up = prev[b+1] + float64(p.Open)
+			}
+			left := math.Inf(-1)
+			if b > 0 {
+				left = cur[b-1] + float64(p.Open)
+			}
+			// Local-alignment start: each cell can begin a fresh path.
+			sum := logSumExp4(diag, up, left, 0)
+			cur[b] = sum + float64(p.Match[j*p.K+r])
+			total = logSumExp2(total, cur[b])
+		}
+		prev, cur = cur, prev
+	}
+	m.Record(metering.Event{
+		Func:           "forward_band",
+		Instructions:   cells * 30, // exp/log dominated
+		Bytes:          cells * 40,
+		WorkingSet:     uint64(2*w)*8 + p.MemoryBytes(),
+		Pattern:        metering.Strided,
+		Branches:       cells * 2,
+		BranchMissRate: 0.003,
+	})
+	if math.IsInf(total, -1) {
+		return 0
+	}
+	return total
+}
+
+func logSumExp2(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if math.IsInf(a, -1) {
+		return a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+func logSumExp4(a, b, c, d float64) float64 {
+	return logSumExp2(logSumExp2(a, b), logSumExp2(c, d))
+}

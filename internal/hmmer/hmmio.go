@@ -1,0 +1,112 @@
+package hmmer
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"afsysbench/internal/seq"
+)
+
+// Profile serialization — the analog of HMMER's .hmm files. Persisting
+// built profiles lets a warm pipeline skip profile construction and reuse
+// recruited-alignment profiles across runs.
+//
+// Format:
+//
+//	magic "AFHM" | uint16 version | uint8 moleculeType |
+//	uint16 nameLen | name | uint32 M | uint16 K |
+//	float32 insertPenalty | float32 open | float32 extend |
+//	float64 lambda | float64 mu | M*K float32 match scores
+const (
+	profileMagic   = "AFHM"
+	profileVersion = 1
+)
+
+// WriteProfile serializes the profile.
+func (p *Profile) WriteProfile(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(profileMagic); err != nil {
+		return err
+	}
+	if len(p.Name) > 0xffff {
+		return fmt.Errorf("hmmer: profile name too long")
+	}
+	head := make([]byte, 0, 64)
+	head = binary.BigEndian.AppendUint16(head, profileVersion)
+	head = append(head, byte(p.Type))
+	head = binary.BigEndian.AppendUint16(head, uint16(len(p.Name)))
+	head = append(head, p.Name...)
+	head = binary.BigEndian.AppendUint32(head, uint32(p.M))
+	head = binary.BigEndian.AppendUint16(head, uint16(p.K))
+	head = binary.BigEndian.AppendUint32(head, math.Float32bits(p.InsertPenalty))
+	head = binary.BigEndian.AppendUint32(head, math.Float32bits(p.Open))
+	head = binary.BigEndian.AppendUint32(head, math.Float32bits(p.Extend))
+	head = binary.BigEndian.AppendUint64(head, math.Float64bits(p.Lambda))
+	head = binary.BigEndian.AppendUint64(head, math.Float64bits(p.Mu))
+	if _, err := bw.Write(head); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	for _, v := range p.Match {
+		binary.BigEndian.PutUint32(buf, math.Float32bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadProfile deserializes a profile written by WriteProfile.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+2+1+2)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("hmmer: reading profile header: %w", err)
+	}
+	if string(head[:4]) != profileMagic {
+		return nil, fmt.Errorf("hmmer: bad profile magic %q", head[:4])
+	}
+	if v := binary.BigEndian.Uint16(head[4:6]); v != profileVersion {
+		return nil, fmt.Errorf("hmmer: unsupported profile version %d", v)
+	}
+	p := &Profile{Type: seq.MoleculeType(head[6])}
+	nameLen := int(binary.BigEndian.Uint16(head[7:9]))
+	rest := make([]byte, nameLen+4+2+4+4+4+8+8)
+	if _, err := io.ReadFull(br, rest); err != nil {
+		return nil, fmt.Errorf("hmmer: reading profile metadata: %w", err)
+	}
+	p.Name = string(rest[:nameLen])
+	off := nameLen
+	p.M = int(binary.BigEndian.Uint32(rest[off : off+4]))
+	off += 4
+	p.K = int(binary.BigEndian.Uint16(rest[off : off+2]))
+	off += 2
+	p.InsertPenalty = math.Float32frombits(binary.BigEndian.Uint32(rest[off : off+4]))
+	off += 4
+	p.Open = math.Float32frombits(binary.BigEndian.Uint32(rest[off : off+4]))
+	off += 4
+	p.Extend = math.Float32frombits(binary.BigEndian.Uint32(rest[off : off+4]))
+	off += 4
+	p.Lambda = math.Float64frombits(binary.BigEndian.Uint64(rest[off : off+8]))
+	off += 8
+	p.Mu = math.Float64frombits(binary.BigEndian.Uint64(rest[off : off+8]))
+
+	if p.M <= 0 || p.K <= 0 || p.M > 1<<24 || p.K > 64 {
+		return nil, fmt.Errorf("hmmer: implausible profile dims %dx%d", p.M, p.K)
+	}
+	if alpha := p.Type.Alphabet(); alpha == "" || len(alpha) != p.K {
+		return nil, fmt.Errorf("hmmer: profile type %v inconsistent with K=%d", p.Type, p.K)
+	}
+	p.Match = make([]float32, p.M*p.K)
+	buf := make([]byte, 4)
+	for i := range p.Match {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("hmmer: reading match scores: %w", err)
+		}
+		p.Match[i] = math.Float32frombits(binary.BigEndian.Uint32(buf))
+	}
+	return p, nil
+}

@@ -1,0 +1,87 @@
+package hmmer
+
+import (
+	"bytes"
+	"testing"
+
+	"afsysbench/internal/metering"
+	"afsysbench/internal/seq"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	g := protGen(61)
+	q := g.Random("roundtrip", seq.Protein, 120)
+	p, err := BuildFromQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || got.Type != p.Type || got.M != p.M || got.K != p.K {
+		t.Fatalf("metadata mismatched: %+v vs %+v", got, p)
+	}
+	if got.Lambda != p.Lambda || got.Mu != p.Mu {
+		t.Error("calibration parameters mismatched")
+	}
+	if got.InsertPenalty != p.InsertPenalty || got.Open != p.Open || got.Extend != p.Extend {
+		t.Error("gap parameters mismatched")
+	}
+	for i := range p.Match {
+		if got.Match[i] != p.Match[i] {
+			t.Fatalf("match score %d mismatched", i)
+		}
+	}
+	// A loaded profile must score identically to the original.
+	target := g.Mutate(q, "t", 0.2)
+	a := BandedViterbi(p, target, 0, BandHalfWidth, metering.Nop{})
+	b := BandedViterbi(got, target, 0, BandHalfWidth, metering.Nop{})
+	if a.Score != b.Score {
+		t.Errorf("loaded profile scores %v, original %v", b.Score, a.Score)
+	}
+}
+
+func TestProfileRoundTripRNA(t *testing.T) {
+	g := seq.NewGenerator(protGenSrc(62))
+	q := g.Random("rna", seq.RNA, 80)
+	p, err := BuildFromQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != 4 || got.Type != seq.RNA {
+		t.Errorf("RNA profile wrong: K=%d type=%v", got.K, got.Type)
+	}
+}
+
+func TestReadProfileRejectsCorrupt(t *testing.T) {
+	if _, err := ReadProfile(bytes.NewReader([]byte("XXXX000000000"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	g := protGen(63)
+	p, _ := BuildFromQuery(g.Random("q", seq.Protein, 50))
+	var buf bytes.Buffer
+	_ = p.WriteProfile(&buf)
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadProfile(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated profile accepted")
+	}
+	// Corrupt the molecule type so K mismatches the alphabet.
+	img := append([]byte(nil), buf.Bytes()...)
+	img[6] = 3 // ligand
+	if _, err := ReadProfile(bytes.NewReader(img)); err == nil {
+		t.Error("inconsistent type/K accepted")
+	}
+}

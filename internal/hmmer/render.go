@@ -1,0 +1,111 @@
+package hmmer
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"afsysbench/internal/seq"
+)
+
+// Alignment rendering: BLAST-style three-line blocks (query, match line,
+// target) for reported hits — the human-readable face of the traceback.
+
+// RenderAlignment writes the aligned query/target pair in blocks of the
+// given width. The match line marks identities with the residue letter and
+// substitutions with a space; gaps appear as '-'.
+func RenderAlignment(w io.Writer, query, target *seq.Sequence, a *Alignment, width int) error {
+	if a == nil || len(a.Pairs) == 0 {
+		return fmt.Errorf("hmmer: empty alignment")
+	}
+	if width <= 0 {
+		width = 60
+	}
+	qAlpha := query.Type.Alphabet()
+	tAlpha := target.Type.Alphabet()
+
+	var qLine, mLine, tLine []byte
+	qStart, tStart := -1, -1
+	var qEnd, tEnd int
+	for _, p := range a.Pairs {
+		switch p.Op {
+		case OpMatch:
+			qc := qAlpha[query.Residues[p.Col]]
+			tc := tAlpha[target.Residues[p.Pos]]
+			qLine = append(qLine, qc)
+			tLine = append(tLine, tc)
+			if qc == tc {
+				mLine = append(mLine, qc)
+			} else {
+				mLine = append(mLine, ' ')
+			}
+			if qStart < 0 {
+				qStart = p.Col
+			}
+			if tStart < 0 {
+				tStart = p.Pos
+			}
+			qEnd, tEnd = p.Col, p.Pos
+		case OpInsert:
+			qLine = append(qLine, '-')
+			mLine = append(mLine, ' ')
+			tLine = append(tLine, tAlpha[target.Residues[p.Pos]])
+			if tStart < 0 {
+				tStart = p.Pos
+			}
+			tEnd = p.Pos
+		case OpDelete:
+			qLine = append(qLine, qAlpha[query.Residues[p.Col]])
+			mLine = append(mLine, ' ')
+			tLine = append(tLine, '-')
+			if qStart < 0 {
+				qStart = p.Col
+			}
+			qEnd = p.Col
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s x %s  score %.1f  q:%d-%d t:%d-%d\n",
+		query.ID, target.ID, a.Score, qStart+1, qEnd+1, tStart+1, tEnd+1); err != nil {
+		return err
+	}
+	for off := 0; off < len(qLine); off += width {
+		end := off + width
+		if end > len(qLine) {
+			end = len(qLine)
+		}
+		if _, err := fmt.Fprintf(w, "  query  %s\n         %s\n  target %s\n",
+			qLine[off:end], mLine[off:end], tLine[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Identity returns the fraction of match operations whose residues are
+// identical letters.
+func Identity(query, target *seq.Sequence, a *Alignment) float64 {
+	matches, ident := 0, 0
+	for _, p := range a.Pairs {
+		if p.Op != OpMatch {
+			continue
+		}
+		matches++
+		if query.Residues[p.Col] == target.Residues[p.Pos] {
+			ident++
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	return float64(ident) / float64(matches)
+}
+
+// Summary returns a one-line hit description for reports.
+func (h Hit) Summary(query *seq.Sequence) string {
+	ident := ""
+	if h.Alignment != nil {
+		ident = fmt.Sprintf(" ident=%.0f%%", 100*Identity(query, h.Target, h.Alignment))
+	}
+	return strings.TrimSpace(fmt.Sprintf("%s E=%.2g bits=%.1f%s", h.TargetID, h.EValue, h.Bits, ident))
+}

@@ -1,0 +1,101 @@
+package hmmer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"afsysbench/internal/metering"
+	"afsysbench/internal/seq"
+)
+
+func TestRenderAlignmentBlocks(t *testing.T) {
+	g := protGen(51)
+	q := g.Random("probe", seq.Protein, 50)
+	target := g.Mutate(q, "subject", 0.1)
+	p, _ := BuildFromQuery(q)
+	_, ali := BandedViterbiAlign(p, target, 0, BandHalfWidth, metering.Nop{})
+
+	var buf bytes.Buffer
+	if err := RenderAlignment(&buf, q, target, ali, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "probe x subject") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "query") || !strings.Contains(out, "target") {
+		t.Error("block labels missing")
+	}
+	// Blocks of 20: an alignment of ~50 pairs needs >= 3 blocks.
+	if strings.Count(out, "query") < 3 {
+		t.Errorf("expected multiple blocks:\n%s", out)
+	}
+}
+
+func TestRenderAlignmentShowsGaps(t *testing.T) {
+	g := protGen(52)
+	q := g.Random("q", seq.Protein, 40)
+	// Insert 2 residues into the target to force '-' in the query line.
+	ins := g.Random("i", seq.Protein, 2)
+	res := append([]byte(nil), q.Residues[:20]...)
+	res = append(res, ins.Residues...)
+	res = append(res, q.Residues[20:]...)
+	target := &seq.Sequence{ID: "t", Type: seq.Protein, Residues: res}
+	p, _ := BuildFromQuery(q)
+	_, ali := BandedViterbiAlign(p, target, 0, BandHalfWidth, metering.Nop{})
+
+	var buf bytes.Buffer
+	if err := RenderAlignment(&buf, q, target, ali, 80); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-") {
+		t.Errorf("gap characters missing:\n%s", buf.String())
+	}
+}
+
+func TestRenderAlignmentEmpty(t *testing.T) {
+	g := protGen(53)
+	q := g.Random("q", seq.Protein, 10)
+	if err := RenderAlignment(&bytes.Buffer{}, q, q, &Alignment{}, 60); err == nil {
+		t.Error("empty alignment accepted")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	g := protGen(54)
+	q := g.Random("q", seq.Protein, 60)
+	p, _ := BuildFromQuery(q)
+	_, self := BandedViterbiAlign(p, q, 0, BandHalfWidth, metering.Nop{})
+	if id := Identity(q, q, self); id != 1 {
+		t.Errorf("self identity = %v, want 1", id)
+	}
+	mut := g.Mutate(q, "m", 0.3)
+	_, ali := BandedViterbiAlign(p, mut, 0, BandHalfWidth, metering.Nop{})
+	if id := Identity(q, mut, ali); id >= 1 || id < 0.4 {
+		t.Errorf("mutant identity = %v, want in [0.4, 1)", id)
+	}
+	if Identity(q, q, &Alignment{}) != 0 {
+		t.Error("empty alignment identity should be 0")
+	}
+}
+
+func TestHitSummary(t *testing.T) {
+	g := protGen(55)
+	q := g.Random("q", seq.Protein, 40)
+	hom := g.Mutate(q, "hom", 0.1)
+	p, _ := BuildFromQuery(q)
+	_, ali := BandedViterbiAlign(p, hom, 0, BandHalfWidth, metering.Nop{})
+	h := Hit{TargetID: "hom", Target: hom, EValue: 1e-8, Bits: 52.3, Alignment: ali}
+	s := h.Summary(q)
+	for _, want := range []string{"hom", "E=1e-08", "bits=52.3", "ident="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+	// Without an alignment the identity clause is dropped.
+	h.Alignment = nil
+	if strings.Contains(h.Summary(q), "ident=") {
+		t.Error("identity shown without alignment")
+	}
+}

@@ -1,0 +1,394 @@
+package hmmer
+
+import (
+	"fmt"
+	"sort"
+
+	"afsysbench/internal/metering"
+	"afsysbench/internal/seq"
+)
+
+// SearchOptions configures a database search.
+type SearchOptions struct {
+	// MaxEValue is the reporting threshold (default 10).
+	MaxEValue float64
+	// InclusionEValue is the profile-recruitment threshold for iterative
+	// search rounds (default 1e-3).
+	InclusionEValue float64
+	// HalfWidth is the Viterbi band half-width (default BandHalfWidth).
+	HalfWidth int
+	// Iterations is the number of jackhmmer rounds (default 2).
+	Iterations int
+	// SeedK is the k-mer seed length (default 3 for protein, 5 for
+	// nucleotide).
+	SeedK int
+	// MinSeeds is the votes a diagonal needs before it is DP'd (default 2).
+	MinSeeds int
+	// MaxDiagonals caps candidate diagonals per target (default 64). The
+	// cap is what keeps poly-Q queries from unbounded blowup — but each
+	// capped diagonal still costs a full banded DP, which is the promo
+	// sample's slowdown mechanism.
+	MaxDiagonals int
+	// DisableSeedFilter forces banded DP on every target's best MSV
+	// diagonal instead of seed candidates (the "no prefilter" ablation arm).
+	DisableSeedFilter bool
+	// ReportAllDomains keeps every significant band of a target as its own
+	// hit (HMMER's per-domain envelopes) instead of deduplicating to the
+	// best band per target.
+	ReportAllDomains bool
+	// DBFootprint is the modeled byte size of the database (for the
+	// buffering layer's working-set accounting).
+	DBFootprint uint64
+}
+
+func (o SearchOptions) withDefaults(t seq.MoleculeType) SearchOptions {
+	if o.MaxEValue == 0 {
+		o.MaxEValue = 10
+	}
+	if o.InclusionEValue == 0 {
+		o.InclusionEValue = 1e-3
+	}
+	if o.HalfWidth == 0 {
+		o.HalfWidth = BandHalfWidth
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 2
+	}
+	if o.SeedK == 0 {
+		// Chosen so the expected random k-mer collision rate is similar
+		// across alphabets: 20^3 for protein, 4^8 for nucleotides.
+		if t == seq.Protein {
+			o.SeedK = 3
+		} else {
+			o.SeedK = 8
+		}
+	}
+	if o.MinSeeds == 0 {
+		// Protein seeds need corroboration; nucleotide search keeps
+		// nhmmer's sensitivity by aligning every seeded window, which is
+		// exactly why RNA search is so expensive (paper Section VII).
+		if t == seq.Protein {
+			o.MinSeeds = 2
+		} else {
+			o.MinSeeds = 1
+		}
+	}
+	if o.MaxDiagonals == 0 {
+		o.MaxDiagonals = 64
+	}
+	return o
+}
+
+// Hit is one reported database match.
+type Hit struct {
+	TargetID     string
+	Target       *seq.Sequence
+	Diagonal     int
+	ViterbiScore float64
+	ForwardScore float64
+	Bits         float64
+	EValue       float64
+	// Alignment is the traced Viterbi path (nil if tracing was skipped).
+	Alignment *Alignment
+}
+
+// Result summarizes a search.
+type Result struct {
+	Query      string
+	Hits       []Hit // sorted by ascending E-value
+	Scanned    int   // records examined
+	Candidates int   // candidate diagonals DP'd
+	CellsDP    uint64
+	Rounds     int
+	// Windows counts long-target windows scanned (nucleotide searches).
+	Windows int
+	// PeakWindowStateBytes is the largest per-target accumulated window
+	// state seen — nhmmer's memory driver (Figure 2).
+	PeakWindowStateBytes int64
+}
+
+// seedIndex maps k-mers of the query to their positions, the BLAST-style
+// prefilter that replaces a full-matrix scan. Low-complexity queries hash
+// the same k-mer to many positions, which is exactly how repetitive
+// sequence (poly-Q) inflates candidate diagonals downstream.
+type seedIndex struct {
+	k        int
+	alphaLen int
+	pos      map[uint32][]int32
+}
+
+func buildSeedIndex(q *seq.Sequence, k int) *seedIndex {
+	idx := &seedIndex{k: k, alphaLen: len(q.Type.Alphabet()), pos: make(map[uint32][]int32)}
+	if q.Len() < k {
+		return idx
+	}
+	for i := 0; i+k <= q.Len(); i++ {
+		idx.pos[idx.hash(q.Residues[i:i+k])] = append(idx.pos[idx.hash(q.Residues[i:i+k])], int32(i))
+	}
+	return idx
+}
+
+func (idx *seedIndex) hash(kmer []byte) uint32 {
+	var h uint32
+	for _, r := range kmer {
+		h = h*uint32(idx.alphaLen) + uint32(r)
+	}
+	return h
+}
+
+// candidates returns the merged candidate diagonals for a target, recording
+// the seed-scan work. Diagonals closer than mergeDist collapse into one.
+func (idx *seedIndex) candidates(target *seq.Sequence, minSeeds, maxDiag, mergeDist int, m metering.Meter) []int {
+	L := target.Len()
+	if L < idx.k {
+		return nil
+	}
+	votes := make(map[int]int)
+	var probes uint64
+	for i := 0; i+idx.k <= L; i++ {
+		h := idx.hash(target.Residues[i : i+idx.k])
+		for _, qp := range idx.pos[h] {
+			votes[int(qp)-i]++
+			probes++
+		}
+	}
+	// Probe work scales with posting-list traffic: low-complexity queries
+	// hash many positions to the same k-mer, so repetitive targets walk
+	// long posting lists — the seed-stage half of the promo blowup.
+	m.Record(metering.Event{
+		Func:         "seed_filter",
+		Instructions: uint64(L)*6 + probes*8,
+		Bytes:        uint64(L)*12 + probes*16,
+		WorkingSet:   uint64(len(idx.pos))*16 + uint64(L),
+		Pattern:      metering.Random, // hash-table probes
+		Branches:     uint64(L)*2 + probes,
+		// Hash probe hit/miss is data-dependent and poorly predicted.
+		BranchMissRate: 0.010,
+	})
+	diags := make([]int, 0, len(votes))
+	for d, v := range votes {
+		if v >= minSeeds {
+			diags = append(diags, d)
+		}
+	}
+	sort.Ints(diags)
+	// Merge nearby diagonals into band-sized clusters. The cluster span is
+	// bounded by mergeDist (one band can only cover that many diagonals),
+	// so a repeat-rich target that lights up hundreds of diagonals still
+	// yields dozens of separate bands to align — the DP-stage half of the
+	// promo blowup.
+	merged := diags[:0]
+	for i := 0; i < len(diags); {
+		j := i
+		for j+1 < len(diags) && diags[j+1]-diags[i] <= mergeDist {
+			j++
+		}
+		merged = append(merged, diags[(i+j)/2])
+		i = j + 1
+	}
+	if len(merged) > maxDiag {
+		merged = merged[:maxDiag]
+	}
+	return merged
+}
+
+// SearchProtein runs a jackhmmer-style iterative profile search of query
+// against the database records supplied by src. Each round scans the whole
+// database; hits below the inclusion threshold are stacked into an
+// alignment from which the next round's profile is built.
+func SearchProtein(query *seq.Sequence, src func() RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
+	if query.Type != seq.Protein {
+		return nil, fmt.Errorf("hmmer: SearchProtein requires a protein query, got %v", query.Type)
+	}
+	opts = opts.withDefaults(query.Type)
+	if m == nil {
+		m = metering.Nop{}
+	}
+	profile, err := BuildFromQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	for round := 0; round < opts.Iterations; round++ {
+		res, err = scanDB(profile, query, src(), dbResidues, opts, m)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = round + 1
+		if round == opts.Iterations-1 {
+			break
+		}
+		rows := BuildGappedAlignment(query, res.Hits, opts.InclusionEValue)
+		if len(rows) <= 1 {
+			break // nothing recruited; further rounds are identical
+		}
+		profile, err = BuildFromAlignment(query.ID, query.Type, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// SearchNucleotide runs an nhmmer-style single-pass scan for RNA/DNA
+// queries. Long targets are searched in overlapping windows; the per-window
+// candidate state is what makes long-query nucleotide search memory-hungry
+// (Fig. 2 in the paper).
+func SearchNucleotide(query *seq.Sequence, src func() RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
+	if query.Type != seq.RNA && query.Type != seq.DNA {
+		return nil, fmt.Errorf("hmmer: SearchNucleotide requires RNA or DNA, got %v", query.Type)
+	}
+	opts = opts.withDefaults(query.Type)
+	if m == nil {
+		m = metering.Nop{}
+	}
+	profile, err := BuildFromQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := scanDB(profile, query, src(), dbResidues, opts, m)
+	if err != nil {
+		return nil, err
+	}
+	res.Rounds = 1
+	return res, nil
+}
+
+// ScanRecords runs one search pass of the profile over the records from
+// src — the unit of work one worker thread performs on its database shard.
+// Callers that parallelize a search shard the database and merge the
+// returned results (see the msa package); iteration across rounds stays
+// with the caller.
+func ScanRecords(p *Profile, query *seq.Sequence, src RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
+	opts = opts.withDefaults(query.Type)
+	if m == nil {
+		m = metering.Nop{}
+	}
+	return scanDB(p, query, src, dbResidues, opts, m)
+}
+
+// BuildHitAlignment stacks hits below the inclusion threshold into
+// profile-column alignment rows (row 0 is the query), the input to
+// BuildFromAlignment for the next search round. Hits carrying a traced
+// Viterbi path stack gapped; the rest fall back to the ungapped diagonal
+// projection.
+func BuildHitAlignment(query *seq.Sequence, hits []Hit, inclusionE float64) [][]byte {
+	return BuildGappedAlignment(query, hits, inclusionE)
+}
+
+// MergeResults combines per-shard results into one, re-sorting by E-value
+// and deduplicating by target.
+func MergeResults(query string, parts []*Result) *Result {
+	merged := &Result{Query: query}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		merged.Hits = append(merged.Hits, p.Hits...)
+		merged.Scanned += p.Scanned
+		merged.Candidates += p.Candidates
+		merged.CellsDP += p.CellsDP
+		merged.Windows += p.Windows
+		if p.PeakWindowStateBytes > merged.PeakWindowStateBytes {
+			merged.PeakWindowStateBytes = p.PeakWindowStateBytes
+		}
+	}
+	sort.Slice(merged.Hits, func(i, j int) bool {
+		if merged.Hits[i].EValue != merged.Hits[j].EValue {
+			return merged.Hits[i].EValue < merged.Hits[j].EValue
+		}
+		return merged.Hits[i].TargetID < merged.Hits[j].TargetID
+	})
+	seen := make(map[string]bool, len(merged.Hits))
+	uniq := merged.Hits[:0]
+	for _, h := range merged.Hits {
+		if !seen[h.TargetID] {
+			seen[h.TargetID] = true
+			uniq = append(uniq, h)
+		}
+	}
+	merged.Hits = uniq
+	return merged
+}
+
+// scanDB is the shared inner loop: stream records through the buffering
+// layer, seed-filter, DP candidates, Forward-score survivors.
+func scanDB(p *Profile, query *seq.Sequence, src RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
+	buf := NewBuffer(src, opts.DBFootprint, m)
+	idx := buildSeedIndex(query, opts.SeedK)
+	res := &Result{Query: query.ID}
+	for {
+		target, ok := buf.Next()
+		if !ok {
+			break
+		}
+		res.Scanned++
+		// Long nucleotide targets go through the windowed nhmmer path.
+		if query.Type != seq.Protein && target.Len() > longTargetThreshold(query.Len()) {
+			wres := scanLongTarget(p, query, target, idx, dbResidues, opts, m)
+			res.Windows += wres.Windows
+			res.Candidates += wres.Candidates
+			res.CellsDP += wres.CellsDP
+			res.Hits = append(res.Hits, wres.Hits...)
+			if wres.PeakStateBytes > res.PeakWindowStateBytes {
+				res.PeakWindowStateBytes = wres.PeakStateBytes
+			}
+			continue
+		}
+		var diags []int
+		if opts.DisableSeedFilter {
+			hit := MSVFilter(p, target, m)
+			if hit.Score >= MSVThreshold(p) {
+				diags = []int{hit.Diagonal}
+			}
+		} else {
+			diags = idx.candidates(target, opts.MinSeeds, opts.MaxDiagonals, 2*opts.HalfWidth, m)
+		}
+		for _, d := range diags {
+			res.Candidates++
+			ali := BandedViterbi(p, target, d, opts.HalfWidth, m)
+			res.CellsDP += ali.Cells
+			ev := p.EValue(float64(ali.Score), dbResidues)
+			if ev > opts.MaxEValue*10 {
+				continue // not even close; skip Forward
+			}
+			fwd := Forward(p, target, d, opts.HalfWidth, m)
+			fev := p.EValue(fwd, dbResidues)
+			if fev > opts.MaxEValue {
+				continue
+			}
+			// Reported hits get a traced alignment for stacking and
+			// display (the extra DP is charged by the traceback kernel).
+			_, traced := BandedViterbiAlign(p, target, d, opts.HalfWidth, m)
+			res.Hits = append(res.Hits, Hit{
+				TargetID:     target.ID,
+				Target:       target,
+				Diagonal:     d,
+				ViterbiScore: float64(ali.Score),
+				ForwardScore: fwd,
+				Bits:         p.BitScore(fwd),
+				EValue:       fev,
+				Alignment:    traced,
+			})
+		}
+	}
+	sort.Slice(res.Hits, func(i, j int) bool {
+		if res.Hits[i].EValue != res.Hits[j].EValue {
+			return res.Hits[i].EValue < res.Hits[j].EValue
+		}
+		return res.Hits[i].TargetID < res.Hits[j].TargetID
+	})
+	if !opts.ReportAllDomains {
+		// Deduplicate by target: keep the best band only.
+		seen := make(map[string]bool, len(res.Hits))
+		uniq := res.Hits[:0]
+		for _, h := range res.Hits {
+			if !seen[h.TargetID] {
+				seen[h.TargetID] = true
+				uniq = append(uniq, h)
+			}
+		}
+		res.Hits = uniq
+	}
+	return res, nil
+}

@@ -1,0 +1,329 @@
+package hmmer
+
+import (
+	"strings"
+	"testing"
+
+	"afsysbench/internal/metering"
+	"afsysbench/internal/rng"
+	"afsysbench/internal/seq"
+	"afsysbench/internal/seqdb"
+)
+
+func makeDB(t *testing.T, spec seqdb.Spec) *seqdb.DB {
+	t.Helper()
+	db, err := seqdb.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func sliceSrc(db *seqdb.DB) func() RecordSource {
+	return func() RecordSource { return &SliceSource{Seqs: db.Seqs} }
+}
+
+func TestSliceSource(t *testing.T) {
+	g := seq.NewGenerator(rng.New(1))
+	s := &SliceSource{Seqs: []*seq.Sequence{g.Random("a", seq.Protein, 10), g.Random("b", seq.Protein, 10)}}
+	ids := []string{}
+	for {
+		rec, ok := s.Next()
+		if !ok {
+			break
+		}
+		ids = append(ids, rec.ID)
+	}
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestBufferPreservesRecords(t *testing.T) {
+	g := seq.NewGenerator(rng.New(2))
+	orig := g.Random("r", seq.Protein, 333)
+	var m metering.Accumulator
+	buf := NewBuffer(&SliceSource{Seqs: []*seq.Sequence{orig}}, 1<<30, &m)
+	rec, ok := buf.Next()
+	if !ok {
+		t.Fatal("record lost")
+	}
+	if rec.ID != orig.ID || rec.Len() != orig.Len() {
+		t.Error("record mutated")
+	}
+	for i := range rec.Residues {
+		if rec.Residues[i] != orig.Residues[i] {
+			t.Fatal("residues corrupted in buffering path")
+		}
+	}
+	by := m.ByFunc()
+	for _, fn := range []string{"copy_to_iter", "addbuf", "seebuf"} {
+		ev, ok := by[fn]
+		if !ok {
+			t.Fatalf("missing %s event", fn)
+		}
+		if ev.Instructions == 0 || ev.Bytes == 0 {
+			t.Errorf("%s event has zero counts", fn)
+		}
+	}
+	if by["copy_to_iter"].WorkingSet != 1<<30 {
+		t.Error("copy_to_iter working set must be the DB footprint")
+	}
+	if _, ok := buf.Next(); ok {
+		t.Error("buffer yielded extra record")
+	}
+}
+
+func TestSeedIndexFindsIdenticalDiagonal(t *testing.T) {
+	g := seq.NewGenerator(rng.New(3))
+	q := g.Random("q", seq.Protein, 100)
+	idx := buildSeedIndex(q, 3)
+	diags := idx.candidates(q, 2, 64, 18, metering.Nop{})
+	found := false
+	for _, d := range diags {
+		if d >= -9 && d <= 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("self-search candidates %v missing diagonal ~0", diags)
+	}
+}
+
+func TestSeedIndexShortTarget(t *testing.T) {
+	g := seq.NewGenerator(rng.New(4))
+	q := g.Random("q", seq.Protein, 50)
+	idx := buildSeedIndex(q, 3)
+	if got := idx.candidates(g.Random("t", seq.Protein, 2), 2, 64, 18, metering.Nop{}); got != nil {
+		t.Errorf("short target candidates = %v, want nil", got)
+	}
+}
+
+func TestPolyQInflatesCandidates(t *testing.T) {
+	g := seq.NewGenerator(rng.New(5))
+	diverse := g.Random("div", seq.Protein, 300)
+	polyQ := g.WithRepeat("pq", seq.Protein, 300, 90, seq.QIndex)
+	spec := seqdb.Spec{Name: "lc", Type: seq.Protein, NumSeqs: 60, MeanLen: 150, LowComplexFrac: 0.3, Seed: 6}
+	db := makeDB(t, spec)
+
+	count := func(q *seq.Sequence) int {
+		idx := buildSeedIndex(q, 3)
+		total := 0
+		for _, s := range db.Seqs {
+			total += len(idx.candidates(s, 2, 64, 18, metering.Nop{}))
+		}
+		return total
+	}
+	cDiv, cPQ := count(diverse), count(polyQ)
+	if cPQ <= cDiv*2 {
+		t.Errorf("poly-Q candidates (%d) not well above diverse (%d) — promo effect missing", cPQ, cDiv)
+	}
+}
+
+func TestSearchProteinFindsPlantedHomologs(t *testing.T) {
+	g := seq.NewGenerator(rng.New(7))
+	query := g.Random("query", seq.Protein, 200)
+	spec := seqdb.Spec{
+		Name: "udb", Type: seq.Protein, NumSeqs: 80, MeanLen: 180,
+		Homologs: []*seq.Sequence{query}, HomologsPerQuery: 6, Seed: 8,
+	}
+	db := makeDB(t, spec)
+	res, err := SearchProtein(query, sliceSrc(db), db.TotalResidues(), SearchOptions{Iterations: 1}, metering.Nop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != db.NumSeqs() {
+		t.Errorf("scanned %d, want %d", res.Scanned, db.NumSeqs())
+	}
+	homHits := 0
+	for _, h := range res.Hits {
+		if strings.Contains(h.TargetID, "|hom") && h.EValue < 1e-3 {
+			homHits++
+		}
+	}
+	if homHits < 3 {
+		t.Errorf("found %d/6 planted homologs with E<1e-3", homHits)
+	}
+}
+
+func TestSearchRandomDBNoSignificantHits(t *testing.T) {
+	g := seq.NewGenerator(rng.New(9))
+	query := g.Random("query", seq.Protein, 200)
+	db := makeDB(t, seqdb.Spec{Name: "null", Type: seq.Protein, NumSeqs: 100, MeanLen: 180, Seed: 10})
+	res, err := SearchProtein(query, sliceSrc(db), db.TotalResidues(), SearchOptions{Iterations: 1}, metering.Nop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.Hits {
+		if h.EValue < 1e-4 {
+			t.Errorf("random target %s got E=%g — calibration too permissive", h.TargetID, h.EValue)
+		}
+	}
+}
+
+func TestIterativeSearchRecruitsMore(t *testing.T) {
+	g := seq.NewGenerator(rng.New(11))
+	query := g.Random("query", seq.Protein, 250)
+	spec := seqdb.Spec{
+		Name: "it", Type: seq.Protein, NumSeqs: 60, MeanLen: 200,
+		Homologs: []*seq.Sequence{query}, HomologsPerQuery: 10, Seed: 12,
+	}
+	db := makeDB(t, spec)
+	r1, err := SearchProtein(query, sliceSrc(db), db.TotalResidues(), SearchOptions{Iterations: 1}, metering.Nop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := SearchProtein(query, sliceSrc(db), db.TotalResidues(), SearchOptions{Iterations: 3}, metering.Nop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Rounds < 2 {
+		t.Skipf("nothing recruited in round 1 (hits=%d); iteration short-circuited", len(r1.Hits))
+	}
+	if len(r3.Hits) < len(r1.Hits) {
+		t.Errorf("iterative search lost hits: %d -> %d", len(r1.Hits), len(r3.Hits))
+	}
+}
+
+func TestSearchTypeErrors(t *testing.T) {
+	g := seq.NewGenerator(rng.New(13))
+	rna := g.Random("r", seq.RNA, 50)
+	prot := g.Random("p", seq.Protein, 50)
+	db := makeDB(t, seqdb.Spec{Name: "x", Type: seq.Protein, NumSeqs: 5, MeanLen: 60, Seed: 1})
+	if _, err := SearchProtein(rna, sliceSrc(db), 100, SearchOptions{}, nil); err == nil {
+		t.Error("RNA query accepted by SearchProtein")
+	}
+	if _, err := SearchNucleotide(prot, sliceSrc(db), 100, SearchOptions{}, nil); err == nil {
+		t.Error("protein query accepted by SearchNucleotide")
+	}
+}
+
+func TestSearchNucleotideFindsHomolog(t *testing.T) {
+	g := seq.NewGenerator(rng.New(15))
+	query := g.Random("rna", seq.RNA, 150)
+	spec := seqdb.Spec{
+		Name: "rfam", Type: seq.RNA, NumSeqs: 60, MeanLen: 200,
+		Homologs: []*seq.Sequence{query}, HomologsPerQuery: 4, Seed: 16,
+	}
+	db := makeDB(t, spec)
+	res, err := SearchNucleotide(query, sliceSrc(db), db.TotalResidues(), SearchOptions{}, metering.Nop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range res.Hits {
+		if strings.Contains(h.TargetID, "|hom") && h.EValue < 0.01 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no planted RNA homolog found")
+	}
+}
+
+func TestDisableSeedFilterStillFindsClosestHomolog(t *testing.T) {
+	g := seq.NewGenerator(rng.New(17))
+	query := g.Random("query", seq.Protein, 150)
+	spec := seqdb.Spec{
+		Name: "msv", Type: seq.Protein, NumSeqs: 30, MeanLen: 150,
+		Homologs: []*seq.Sequence{query}, HomologsPerQuery: 3, Seed: 18,
+	}
+	db := makeDB(t, spec)
+	res, err := SearchProtein(query, sliceSrc(db), db.TotalResidues(),
+		SearchOptions{Iterations: 1, DisableSeedFilter: true}, metering.Nop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range res.Hits {
+		if strings.Contains(h.TargetID, "|hom") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("MSV-path search found no homolog")
+	}
+}
+
+func TestSearchDeduplicatesTargets(t *testing.T) {
+	g := seq.NewGenerator(rng.New(19))
+	query := g.Random("query", seq.Protein, 120)
+	db := makeDB(t, seqdb.Spec{
+		Name: "dup", Type: seq.Protein, NumSeqs: 10, MeanLen: 100,
+		Homologs: []*seq.Sequence{query}, HomologsPerQuery: 2, Seed: 20,
+	})
+	res, err := SearchProtein(query, sliceSrc(db), db.TotalResidues(), SearchOptions{Iterations: 1}, metering.Nop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, h := range res.Hits {
+		if seen[h.TargetID] {
+			t.Fatalf("duplicate hit for %s", h.TargetID)
+		}
+		seen[h.TargetID] = true
+	}
+}
+
+func TestSearchMeteringCoversKernels(t *testing.T) {
+	g := seq.NewGenerator(rng.New(21))
+	query := g.Random("query", seq.Protein, 150)
+	db := makeDB(t, seqdb.Spec{
+		Name: "met", Type: seq.Protein, NumSeqs: 40, MeanLen: 150,
+		Homologs: []*seq.Sequence{query}, HomologsPerQuery: 4, Seed: 22,
+	})
+	var m metering.Accumulator
+	if _, err := SearchProtein(query, sliceSrc(db), db.TotalResidues(), SearchOptions{Iterations: 1}, &m); err != nil {
+		t.Fatal(err)
+	}
+	by := m.ByFunc()
+	for _, fn := range []string{"calc_band_9", "calc_band_10", "addbuf", "seebuf", "copy_to_iter", "seed_filter"} {
+		if by[fn].Instructions == 0 {
+			t.Errorf("function %s reported no work", fn)
+		}
+	}
+	// Shape check against Table IV: DP kernels must dominate the buffer
+	// layer in instruction count.
+	dp := by["calc_band_9"].Instructions + by["calc_band_10"].Instructions
+	bufWork := by["addbuf"].Instructions + by["seebuf"].Instructions
+	if dp <= bufWork {
+		t.Errorf("DP kernels (%d) do not dominate buffering (%d)", dp, bufWork)
+	}
+}
+
+func TestReportAllDomainsFindsBothSegments(t *testing.T) {
+	g := seq.NewGenerator(rng.New(23))
+	query := g.Random("q", seq.Protein, 100)
+	// A target with two homologous segments far apart: two domains.
+	target := g.Random("t", seq.Protein, 600)
+	copy(target.Residues[50:150], query.Residues)
+	copy(target.Residues[420:520], query.Residues)
+
+	src := func() RecordSource { return &SliceSource{Seqs: []*seq.Sequence{target}} }
+	dedup, err := SearchProtein(query, src, target.Len(), SearchOptions{Iterations: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dedup.Hits) != 1 {
+		t.Fatalf("deduplicated search reported %d hits, want 1", len(dedup.Hits))
+	}
+	all, err := SearchProtein(query, src, target.Len(), SearchOptions{Iterations: 1, ReportAllDomains: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Hits) < 2 {
+		t.Fatalf("per-domain search reported %d hits, want both segments", len(all.Hits))
+	}
+	// The two domains sit on well-separated diagonals.
+	d0, d1 := all.Hits[0].Diagonal, all.Hits[1].Diagonal
+	if d0 == d1 {
+		t.Error("domains collapsed to one diagonal")
+	}
+	gap := d0 - d1
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap < 200 {
+		t.Errorf("domain diagonals %d and %d too close", d0, d1)
+	}
+}

@@ -1,0 +1,297 @@
+package hmmer
+
+import (
+	"fmt"
+
+	"afsysbench/internal/metering"
+	"afsysbench/internal/seq"
+)
+
+// Alignment traceback. BandedViterbi returns only the best score; the
+// aligned path is needed to stack recruited hits into profile columns for
+// the next jackhmmer round (gapped, unlike the diagonal projection), and to
+// report alignments to users. The traceback kernel re-runs the banded
+// recurrence with backpointer recording — the same split into the
+// calc_band_9/calc_band_10 row variants, with the extra write traffic
+// reflected in the metering events.
+
+// OpKind is one alignment operation.
+type OpKind byte
+
+const (
+	// OpMatch consumes one profile column and one target residue.
+	OpMatch OpKind = 'M'
+	// OpInsert consumes one target residue (between profile columns).
+	OpInsert OpKind = 'I'
+	// OpDelete consumes one profile column (no target residue).
+	OpDelete OpKind = 'D'
+)
+
+// AlignedPair is one step of an alignment path.
+type AlignedPair struct {
+	Op OpKind
+	// Col is the profile column (0-based) for match/delete, -1 for insert.
+	Col int
+	// Pos is the target position (0-based) for match/insert, -1 for delete.
+	Pos int
+}
+
+// Alignment is a local alignment path in ascending column/position order.
+type Alignment struct {
+	Score float32
+	Pairs []AlignedPair
+}
+
+// Validate checks path invariants: operations consume coordinates
+// monotonically and stay in bounds.
+func (a *Alignment) Validate(profileLen, targetLen int) error {
+	lastCol, lastPos := -1, -1
+	for i, p := range a.Pairs {
+		switch p.Op {
+		case OpMatch:
+			if p.Col <= lastCol || p.Pos <= lastPos {
+				return fmt.Errorf("hmmer: pair %d (M) not monotonic", i)
+			}
+			lastCol, lastPos = p.Col, p.Pos
+		case OpInsert:
+			if p.Col != -1 || p.Pos <= lastPos {
+				return fmt.Errorf("hmmer: pair %d (I) malformed", i)
+			}
+			lastPos = p.Pos
+		case OpDelete:
+			if p.Pos != -1 || p.Col <= lastCol {
+				return fmt.Errorf("hmmer: pair %d (D) malformed", i)
+			}
+			lastCol = p.Col
+		default:
+			return fmt.Errorf("hmmer: pair %d has unknown op %q", i, p.Op)
+		}
+		if p.Col >= profileLen || p.Pos >= targetLen {
+			return fmt.Errorf("hmmer: pair %d out of bounds", i)
+		}
+	}
+	return nil
+}
+
+// Matches returns the number of match operations.
+func (a *Alignment) Matches() int {
+	n := 0
+	for _, p := range a.Pairs {
+		if p.Op == OpMatch {
+			n++
+		}
+	}
+	return n
+}
+
+// backpointer codes for the traceback matrices.
+const (
+	ptrNone byte = iota // local start
+	ptrM
+	ptrI
+	ptrD
+)
+
+// BandedViterbiAlign runs the banded Viterbi recurrence with backpointer
+// recording and returns both the score result and the traced alignment of
+// the best-scoring cell. It costs roughly the plain kernel plus the pointer
+// writes, which the metering events include.
+func BandedViterbiAlign(p *Profile, target *seq.Sequence, diagonal, halfWidth int, m metering.Meter) (AlignResult, *Alignment) {
+	if m == nil {
+		m = metering.Nop{}
+	}
+	L := target.Len()
+	w := 2*halfWidth + 1
+
+	// Full per-row state and pointer storage (traceback needs history).
+	mSc := make([][]float32, L)
+	iSc := make([][]float32, L)
+	dSc := make([][]float32, L)
+	mPtr := make([][]byte, L)
+	iPtr := make([][]byte, L) // true = extend (from I), false = open (from M)
+	dPtr := make([][]byte, L)
+
+	res := AlignResult{Score: 0}
+	var cellsEven, cellsOdd uint64
+	bestRow, bestBand := -1, -1
+
+	for i := 0; i < L; i++ {
+		mSc[i] = make([]float32, w)
+		iSc[i] = make([]float32, w)
+		dSc[i] = make([]float32, w)
+		mPtr[i] = make([]byte, w)
+		iPtr[i] = make([]byte, w)
+		dPtr[i] = make([]byte, w)
+		r := int(target.Residues[i])
+		lo := i + diagonal - halfWidth
+		var cells uint64
+		for b := 0; b < w; b++ {
+			j := lo + b
+			if j < 0 || j >= p.M {
+				mSc[i][b], iSc[i][b], dSc[i][b] = negInf, negInf, negInf
+				continue
+			}
+			cells++
+			// Previous row's band is shifted one column left: column j-1
+			// is slot b, column j is slot b+1 (see calcBandRow).
+			diagM, diagI, diagD := negInf, negInf, negInf
+			if i > 0 {
+				diagM, diagI, diagD = mSc[i-1][b], iSc[i-1][b], dSc[i-1][b]
+			}
+			upM, upI := negInf, negInf
+			if i > 0 && b+1 < w {
+				upM, upI = mSc[i-1][b+1], iSc[i-1][b+1]
+			}
+			leftM, leftD := negInf, negInf
+			if b > 0 {
+				leftM, leftD = mSc[i][b-1], dSc[i][b-1]
+			}
+
+			best, ptr := float32(0), ptrNone
+			if diagM > best {
+				best, ptr = diagM, ptrM
+			}
+			if diagI > best {
+				best, ptr = diagI, ptrI
+			}
+			if diagD > best {
+				best, ptr = diagD, ptrD
+			}
+			mSc[i][b] = best + p.Match[j*p.K+r]
+			mPtr[i][b] = ptr
+
+			if upM+p.Open >= upI+p.Extend {
+				iSc[i][b] = upM + p.Open + p.InsertPenalty
+				iPtr[i][b] = ptrM
+			} else {
+				iSc[i][b] = upI + p.Extend + p.InsertPenalty
+				iPtr[i][b] = ptrI
+			}
+			if leftM+p.Open >= leftD+p.Extend {
+				dSc[i][b] = leftM + p.Open
+				dPtr[i][b] = ptrM
+			} else {
+				dSc[i][b] = leftD + p.Extend
+				dPtr[i][b] = ptrD
+			}
+
+			if mSc[i][b] > res.Score {
+				res.Score = mSc[i][b]
+				res.EndCol = j
+				res.EndRow = i
+				bestRow, bestBand = i, b
+			}
+		}
+		if i%2 == 0 {
+			cellsEven += cells
+		} else {
+			cellsOdd += cells
+		}
+	}
+	res.Cells = cellsEven + cellsOdd
+
+	ws := uint64(6*w)*4*uint64(minInt(L, 64)) + p.MemoryBytes() + uint64(L)
+	record := func(fn string, cells uint64) {
+		if cells == 0 {
+			return
+		}
+		m.Record(metering.Event{
+			Func:           fn,
+			Instructions:   cells * 17, // recurrence + pointer writes
+			Bytes:          cells * 68,
+			WorkingSet:     ws,
+			Pattern:        metering.Strided,
+			Branches:       cells * 5,
+			BranchMissRate: 0.004,
+		})
+	}
+	record("calc_band_9", cellsEven)
+	record("calc_band_10", cellsOdd)
+
+	ali := &Alignment{Score: res.Score}
+	if bestRow < 0 {
+		return res, ali
+	}
+
+	// Trace back from the best match cell to its local start.
+	var rev []AlignedPair
+	i, b := bestRow, bestBand
+	state := ptrM
+	for i >= 0 {
+		lo := i + diagonal - halfWidth
+		j := lo + b
+		switch state {
+		case ptrM:
+			rev = append(rev, AlignedPair{Op: OpMatch, Col: j, Pos: i})
+			prev := mPtr[i][b]
+			if prev == ptrNone {
+				i = -1 // local start
+				break
+			}
+			state = prev
+			// Diagonal move: previous row, same slot (column j-1).
+			i--
+		case ptrI:
+			rev = append(rev, AlignedPair{Op: OpInsert, Col: -1, Pos: i})
+			state = iPtr[i][b]
+			// Vertical move: previous row, column j = slot b+1 there.
+			i--
+			b++
+		case ptrD:
+			rev = append(rev, AlignedPair{Op: OpDelete, Col: j, Pos: -1})
+			state = dPtr[i][b]
+			// Horizontal move: same row, slot b-1.
+			b--
+		}
+		if b < 0 || b >= w {
+			break // fell off the band edge; path ends here
+		}
+	}
+	// Reverse into ascending order.
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	ali.Pairs = rev
+	return res, ali
+}
+
+// BuildGappedAlignment stacks hits into profile-column rows using their
+// traced alignments: matched target residues land in their aligned columns,
+// deletions leave gaps, insertions are dropped (standard profile-column
+// semantics). Hits without a traced alignment fall back to the ungapped
+// diagonal projection. Row 0 is the query.
+func BuildGappedAlignment(query *seq.Sequence, hits []Hit, inclusionE float64) [][]byte {
+	rows := [][]byte{append([]byte(nil), query.Residues...)}
+	for _, h := range hits {
+		if h.EValue > inclusionE {
+			continue
+		}
+		row := make([]byte, query.Len())
+		for col := range row {
+			row[col] = GapResidue
+		}
+		if h.Alignment != nil && len(h.Alignment.Pairs) > 0 {
+			for _, pr := range h.Alignment.Pairs {
+				if pr.Op == OpMatch && pr.Col >= 0 && pr.Col < len(row) {
+					row[pr.Col] = h.Target.Residues[pr.Pos]
+				}
+			}
+		} else {
+			for col := range row {
+				tpos := col - h.Diagonal
+				if tpos >= 0 && tpos < h.Target.Len() {
+					row[col] = h.Target.Residues[tpos]
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

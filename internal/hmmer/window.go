@@ -1,0 +1,123 @@
+package hmmer
+
+import (
+	"afsysbench/internal/metering"
+	"afsysbench/internal/seq"
+)
+
+// Long-target windowing, nhmmer style. Nucleotide database records
+// (chromosomes, rRNA operons) can be orders of magnitude longer than the
+// query; nhmmer scans them in overlapping windows so the DP working set
+// stays bounded per window — while the *accumulated* per-window candidate
+// state is exactly the memory behavior that blows up on long queries
+// (paper Section III-C / Figure 2).
+
+// windowPlan describes how a target of length L is split for a query of
+// length qLen: windows of length 3·qLen (minimum minWindow), overlapping by
+// qLen so no alignment of query length is ever split.
+type windowPlan struct {
+	winLen  int
+	stride  int
+	targets int // number of windows
+}
+
+const minWindow = 512
+
+func planWindows(qLen, targetLen int) windowPlan {
+	winLen := 3 * qLen
+	if winLen < minWindow {
+		winLen = minWindow
+	}
+	if winLen >= targetLen {
+		return windowPlan{winLen: targetLen, stride: targetLen, targets: 1}
+	}
+	stride := winLen - qLen
+	n := 1 + (targetLen-winLen+stride-1)/stride
+	return windowPlan{winLen: winLen, stride: stride, targets: n}
+}
+
+// WindowScanResult aggregates a windowed scan of one long target.
+type WindowScanResult struct {
+	Windows int
+	// PeakStateBytes models the per-target candidate state nhmmer holds:
+	// every seeded window keeps its DP band and hit context alive until
+	// target postprocessing (the Figure 2 memory driver).
+	PeakStateBytes int64
+	Hits           []Hit
+	Candidates     int
+	CellsDP        uint64
+}
+
+// scanLongTarget runs the windowed nucleotide scan of a single target. Each
+// window goes through the usual seed → banded-Viterbi → Forward cascade;
+// hit coordinates are mapped back to the whole target.
+func scanLongTarget(p *Profile, query *seq.Sequence, target *seq.Sequence, idx *seedIndex, dbResidues int, opts SearchOptions, m metering.Meter) WindowScanResult {
+	plan := planWindows(query.Len(), target.Len())
+	out := WindowScanResult{Windows: plan.targets}
+	bandBytes := int64(2*opts.HalfWidth+1) * 3 * 4 // one band row set
+
+	for wi := 0; wi < plan.targets; wi++ {
+		start := wi * plan.stride
+		end := start + plan.winLen
+		if end > target.Len() {
+			end = target.Len()
+		}
+		window := &seq.Sequence{
+			ID:       target.ID,
+			Type:     target.Type,
+			Residues: target.Residues[start:end],
+		}
+		diags := idx.candidates(window, opts.MinSeeds, opts.MaxDiagonals, 2*opts.HalfWidth, m)
+		if len(diags) == 0 {
+			continue
+		}
+		// Seeded windows retain their DP state and window copy until the
+		// target finishes — the superlinear accumulation.
+		out.PeakStateBytes += int64(end-start) + bandBytes*int64(end-start) + int64(len(diags))*64
+
+		for _, d := range diags {
+			out.Candidates++
+			ali := BandedViterbi(p, window, d, opts.HalfWidth, m)
+			out.CellsDP += ali.Cells
+			ev := p.EValue(float64(ali.Score), dbResidues)
+			if ev > opts.MaxEValue*10 {
+				continue
+			}
+			fwd := Forward(p, window, d, opts.HalfWidth, m)
+			fev := p.EValue(fwd, dbResidues)
+			if fev > opts.MaxEValue {
+				continue
+			}
+			_, traced := BandedViterbiAlign(p, window, d, opts.HalfWidth, m)
+			// Map window-relative positions back to the whole target.
+			if traced != nil {
+				for pi := range traced.Pairs {
+					if traced.Pairs[pi].Pos >= 0 {
+						traced.Pairs[pi].Pos += start
+					}
+				}
+			}
+			out.Hits = append(out.Hits, Hit{
+				TargetID:     target.ID,
+				Target:       target,
+				Diagonal:     d + start, // whole-target diagonal
+				ViterbiScore: float64(ali.Score),
+				ForwardScore: fwd,
+				Bits:         p.BitScore(fwd),
+				EValue:       fev,
+				Alignment:    traced,
+			})
+		}
+	}
+	return out
+}
+
+// longTargetThreshold is the length above which nucleotide targets switch
+// to windowed scanning.
+func longTargetThreshold(qLen int) int {
+	t := 4 * qLen
+	if t < 2*minWindow {
+		t = 2 * minWindow
+	}
+	return t
+}

@@ -1,0 +1,189 @@
+package inputs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"afsysbench/internal/seq"
+)
+
+func TestTableIIProperties(t *testing.T) {
+	cases := []struct {
+		name     string
+		residues int
+		chains   int
+		hasRNA   bool
+	}{
+		{"2PV7", 484, 2, false},
+		{"7RCE", 306, 3, false},
+		{"1YY9", 881, 3, false},
+		{"promo", 857, 5, false},
+		{"6QNR", 1395, 10, true},
+	}
+	samples := Samples()
+	if len(samples) != len(cases) {
+		t.Fatalf("Samples() returned %d entries", len(samples))
+	}
+	for i, c := range cases {
+		in := samples[i]
+		if in.Name != c.name {
+			t.Errorf("sample %d name %q, want %q", i, in.Name, c.name)
+		}
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.name, err)
+		}
+		if got := in.TotalResidues(); got != c.residues {
+			t.Errorf("%s residues = %d, want %d (Table II)", c.name, got, c.residues)
+		}
+		if got := in.ChainCount(); got != c.chains {
+			t.Errorf("%s chains = %d, want %d", c.name, got, c.chains)
+		}
+		if in.HasRNA() != c.hasRNA {
+			t.Errorf("%s HasRNA = %v", c.name, in.HasRNA())
+		}
+	}
+}
+
+func TestPromoHasPolyQAnd1YY9DoesNot(t *testing.T) {
+	promo, _ := ByName("promo")
+	yy9, _ := ByName("1YY9")
+	if promo.MaxLowComplexity() <= yy9.MaxLowComplexity() {
+		t.Errorf("promo low-complexity %.3f not above 1YY9 %.3f",
+			promo.MaxLowComplexity(), yy9.MaxLowComplexity())
+	}
+	run := 0
+	for _, c := range promo.Chains {
+		if c.Sequence.Type == seq.Protein {
+			if r := c.Sequence.LongestRun(); r > run {
+				run = r
+			}
+		}
+	}
+	if run < 60 {
+		t.Errorf("promo longest repeat run = %d, want the planted poly-Q", run)
+	}
+}
+
+func TestMSAChainsExcludeDNA(t *testing.T) {
+	promo, _ := ByName("promo")
+	for _, c := range promo.MSAChains() {
+		if c.Sequence.Type == seq.DNA {
+			t.Error("DNA chain in MSA set (paper Obs. 2: DNA excluded)")
+		}
+	}
+	if len(promo.MSAChains()) != 3 {
+		t.Errorf("promo MSA chains = %d, want 3 proteins", len(promo.MSAChains()))
+	}
+}
+
+func TestSamplesDeterministic(t *testing.T) {
+	a := SamplePromo()
+	b := SamplePromo()
+	if a.Chains[0].Sequence.Letters() != b.Chains[0].Sequence.Letters() {
+		t.Error("sample generation not deterministic")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("2PV7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown sample accepted")
+	}
+}
+
+func TestMaxHelpers(t *testing.T) {
+	q, _ := ByName("6QNR")
+	if q.MaxRNALength() != 600 {
+		t.Errorf("6QNR RNA length = %d", q.MaxRNALength())
+	}
+	if q.MaxProteinLength() != 120 {
+		t.Errorf("6QNR max protein = %d", q.MaxProteinLength())
+	}
+	p, _ := ByName("2PV7")
+	if p.MaxRNALength() != 0 {
+		t.Error("protein-only sample reports RNA length")
+	}
+}
+
+func TestRNASweepLengths(t *testing.T) {
+	sweep := RNASweep()
+	want := []int{621, 935, 1135, 1335}
+	if len(sweep) != len(want) {
+		t.Fatalf("sweep size %d", len(sweep))
+	}
+	for i, in := range sweep {
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := in.MaxRNALength(); got != want[i] {
+			t.Errorf("sweep[%d] RNA length = %d, want %d", i, got, want[i])
+		}
+		if !in.HasRNA() {
+			t.Error("sweep input missing RNA")
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, in := range Samples() {
+		var buf bytes.Buffer
+		if err := in.Write(&buf); err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if got.Name != in.Name || got.TotalResidues() != in.TotalResidues() || got.ChainCount() != in.ChainCount() {
+			t.Errorf("%s round trip mismatch", in.Name)
+		}
+		for i := range in.Chains {
+			if got.Chains[i].Sequence.Type != in.Chains[i].Sequence.Type {
+				t.Errorf("%s chain %d type changed", in.Name, i)
+			}
+			if got.Chains[i].Sequence.Letters() != in.Chains[i].Sequence.Letters() {
+				t.Errorf("%s chain %d sequence changed", in.Name, i)
+			}
+		}
+	}
+}
+
+func TestJSONFormatIsAF3Style(t *testing.T) {
+	in, _ := ByName("7RCE")
+	var buf bytes.Buffer
+	if err := in.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"name"`, `"modelSeeds"`, `"sequences"`, `"protein"`, `"dna"`, `"id"`, `"sequence"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("AF3 JSON missing %s", want)
+		}
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"x","sequences":[{}]}`,
+		`{"name":"","sequences":[{"protein":{"id":["A"],"sequence":"ACD"}}]}`,
+		`{"name":"x","sequences":[{"protein":{"id":[],"sequence":"ACD"}}]}`,
+		`{"name":"x","sequences":[{"protein":{"id":["A"],"sequence":""}}]}`,
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestValidateDuplicateIDs(t *testing.T) {
+	in := Sample2PV7()
+	in.Chains = append(in.Chains, Chain{IDs: []string{"A"}, Sequence: in.Chains[0].Sequence})
+	if err := in.Validate(); err == nil {
+		t.Error("duplicate chain id accepted")
+	}
+}

@@ -1,0 +1,203 @@
+// Package memest implements the static memory estimator the paper proposes
+// in Section VI ("Memory Estimation Based on Input Features") and the
+// nhmmer RNA memory model behind Figure 2. AF3 itself performs no memory
+// pre-check and dies with an OOM kill when an input's nhmmer stage exceeds
+// system memory; this estimator predicts peak usage from input features
+// (longest RNA chain, protein length, thread count) and issues a verdict
+// before any compute is spent.
+package memest
+
+import (
+	"fmt"
+	"sort"
+
+	"afsysbench/internal/inputs"
+	"afsysbench/internal/platform"
+)
+
+// GiB is one gibibyte in bytes, as float for model arithmetic.
+const GiB = float64(1 << 30)
+
+// rnaAnchor is one calibration point of the nhmmer RNA peak-memory curve.
+type rnaAnchor struct {
+	Len  int
+	GiB  float64
+	Note string
+}
+
+// rnaAnchors are the paper's Section III-C measurements on RNA chains
+// derived from the 7K00 ribosomal complex. The 1335 point is the projected
+// value behind the reported OOM above 768 GiB.
+var rnaAnchors = []rnaAnchor{
+	{621, 79.3, "measured"},
+	{935, 506, "measured"},
+	{1135, 644, "measured, required CXL expansion"},
+	{1335, 810, "projected (run OOM-killed above 768 GiB)"},
+}
+
+// RNAPeakBytes models nhmmer's peak resident memory for the longest RNA
+// chain of an input. The curve interpolates the paper's measured anchors
+// piecewise-linearly; below the first anchor it scales quadratically (the
+// window-DP regime), and beyond the last it extrapolates the final slope.
+// Peak RNA memory is independent of thread count (Section III-C).
+func RNAPeakBytes(rnaLen int) int64 {
+	if rnaLen <= 0 {
+		return 0
+	}
+	first := rnaAnchors[0]
+	if rnaLen <= first.Len {
+		frac := float64(rnaLen) / float64(first.Len)
+		return int64(first.GiB * frac * frac * GiB)
+	}
+	for i := 1; i < len(rnaAnchors); i++ {
+		a, b := rnaAnchors[i-1], rnaAnchors[i]
+		if rnaLen <= b.Len {
+			t := float64(rnaLen-a.Len) / float64(b.Len-a.Len)
+			return int64((a.GiB + t*(b.GiB-a.GiB)) * GiB)
+		}
+	}
+	// Extrapolate the last segment's slope.
+	a := rnaAnchors[len(rnaAnchors)-2]
+	b := rnaAnchors[len(rnaAnchors)-1]
+	slope := (b.GiB - a.GiB) / float64(b.Len-a.Len)
+	return int64((b.GiB + slope*float64(rnaLen-b.Len)) * GiB)
+}
+
+// ProteinPeakBytes models jackhmmer's peak resident memory for the longest
+// protein chain at the given thread count. The linear fit reproduces the
+// paper's Section III-C numbers: a 1,000-residue chain needs ~0.23 GiB at
+// 1 thread and ~0.9 GiB at 8; a 2,000-residue chain ~1.7 GiB at 8 threads.
+// Memory scales with the longest chain and with thread count; accompanying
+// chains are negligible.
+func ProteinPeakBytes(protLen, threads int) int64 {
+	if protLen <= 0 {
+		return 0
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	perThousand := 0.1343 + 0.0957*float64(threads) // GiB per 1000 residues
+	return int64(float64(protLen) / 1000 * perThousand * GiB)
+}
+
+// Estimate is the static pre-check result for one input on one machine.
+type Estimate struct {
+	Input    string
+	Machine  string
+	Threads  int
+	RNALen   int
+	RNABytes int64
+	// ProteinBytes is the jackhmmer peak for the longest protein chain.
+	ProteinBytes int64
+	// BaselineBytes covers the runtime, feature pipeline and page-cache
+	// floor the process needs regardless of search memory.
+	BaselineBytes int64
+	// PeakBytes is the projected peak resident set.
+	PeakBytes int64
+	Verdict   Verdict
+}
+
+// Verdict classifies the projected peak against the machine's memory.
+type Verdict int
+
+const (
+	// OK: fits in DRAM.
+	OK Verdict = iota
+	// NeedsExpansion: exceeds DRAM but fits with the CXL expander.
+	NeedsExpansion
+	// OOM: exceeds all available memory; the run would be killed.
+	OOM
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "OK"
+	case NeedsExpansion:
+		return "NEEDS-EXPANSION"
+	case OOM:
+		return "OOM"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+const baselineBytes = int64(8) << 30 // runtime + feature pipeline floor
+
+// expanderBytes is the standard CXL expander capacity the estimator advises
+// attaching when DRAM alone is short (the paper's server used a 256 GiB
+// module).
+const expanderBytes = int64(256) << 30
+
+// Check projects the peak memory of running input's MSA stage on the
+// machine with the given thread count, and classifies it.
+func Check(in *inputs.Input, mach platform.Machine, threads int) Estimate {
+	est := Estimate{
+		Input:         in.Name,
+		Machine:       mach.Name,
+		Threads:       threads,
+		RNALen:        in.MaxRNALength(),
+		BaselineBytes: baselineBytes,
+	}
+	est.RNABytes = RNAPeakBytes(est.RNALen)
+	est.ProteinBytes = ProteinPeakBytes(in.MaxProteinLength(), threads)
+	// jackhmmer and nhmmer stages run sequentially; the peak is the larger
+	// stage plus the process floor.
+	stage := est.RNABytes
+	if est.ProteinBytes > stage {
+		stage = est.ProteinBytes
+	}
+	est.PeakBytes = baselineBytes + stage
+
+	switch {
+	case est.PeakBytes <= mach.TotalMemBytes():
+		est.Verdict = OK
+	case mach.CXLBytes == 0 && est.PeakBytes <= mach.DRAMBytes+expanderBytes:
+		// Would fit if a standard expander were attached.
+		est.Verdict = NeedsExpansion
+	default:
+		est.Verdict = OOM
+	}
+	return est
+}
+
+// MaxSafeRNALength returns the longest RNA chain the machine can process,
+// by inverting the RNA model against available memory.
+func MaxSafeRNALength(mach platform.Machine) int {
+	budget := mach.TotalMemBytes() - baselineBytes
+	// The model is monotonic; binary search the boundary.
+	lo, hi := 0, 100000
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if RNAPeakBytes(mid) <= budget {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Anchors returns the calibration table (length, GiB, provenance) for
+// reports; the slice is sorted by length and safe to modify.
+func Anchors() []struct {
+	Len  int
+	GiB  float64
+	Note string
+} {
+	out := make([]struct {
+		Len  int
+		GiB  float64
+		Note string
+	}, len(rnaAnchors))
+	for i, a := range rnaAnchors {
+		out[i] = struct {
+			Len  int
+			GiB  float64
+			Note string
+		}{a.Len, a.GiB, a.Note}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Len < out[j].Len })
+	return out
+}

@@ -1,0 +1,161 @@
+package memest
+
+import (
+	"math"
+	"testing"
+
+	"afsysbench/internal/inputs"
+	"afsysbench/internal/platform"
+)
+
+func gib(b int64) float64 { return float64(b) / GiB }
+
+func TestRNAAnchorsReproduced(t *testing.T) {
+	// Figure 2's measured points must come back exactly.
+	cases := map[int]float64{621: 79.3, 935: 506, 1135: 644}
+	for l, want := range cases {
+		if got := gib(RNAPeakBytes(l)); math.Abs(got-want) > 0.01 {
+			t.Errorf("RNA %d: %.1f GiB, want %.1f", l, got, want)
+		}
+	}
+}
+
+func TestRNACurveShape(t *testing.T) {
+	// Monotonic and non-linear (superlinear between the first anchors).
+	prev := int64(-1)
+	for l := 0; l <= 2000; l += 50 {
+		cur := RNAPeakBytes(l)
+		if cur < prev {
+			t.Fatalf("RNA curve decreased at %d", l)
+		}
+		prev = cur
+	}
+	// 621 -> 935 is a 1.5x length increase but >6x memory (paper text).
+	if ratio := gib(RNAPeakBytes(935)) / gib(RNAPeakBytes(621)); ratio < 6 {
+		t.Errorf("memory growth 621->935 = %.1fx, want >6x (non-linear)", ratio)
+	}
+	if RNAPeakBytes(0) != 0 || RNAPeakBytes(-5) != 0 {
+		t.Error("non-positive lengths must cost nothing")
+	}
+}
+
+func TestRNA1335ExceedsServerWithCXL(t *testing.T) {
+	// The paper's 1,335-residue attempt died above 768 GiB.
+	if gib(RNAPeakBytes(1335)) <= 768 {
+		t.Errorf("RNA 1335 = %.0f GiB, must exceed 768", gib(RNAPeakBytes(1335)))
+	}
+}
+
+func TestProteinModelMatchesPaper(t *testing.T) {
+	cases := []struct {
+		len, threads int
+		wantGiB      float64
+		tol          float64
+	}{
+		{1000, 1, 0.23, 0.03},
+		{1000, 8, 0.9, 0.05},
+		{2000, 8, 1.7, 0.15},
+	}
+	for _, c := range cases {
+		got := gib(ProteinPeakBytes(c.len, c.threads))
+		if math.Abs(got-c.wantGiB) > c.tol {
+			t.Errorf("protein %d res %dT: %.3f GiB, want %.2f", c.len, c.threads, got, c.wantGiB)
+		}
+	}
+	if ProteinPeakBytes(0, 4) != 0 {
+		t.Error("zero-length protein must cost nothing")
+	}
+	if ProteinPeakBytes(1000, 0) != ProteinPeakBytes(1000, 1) {
+		t.Error("threads < 1 must clamp to 1")
+	}
+}
+
+func TestVerdictStringAndOrdering(t *testing.T) {
+	if OK.String() != "OK" || NeedsExpansion.String() != "NEEDS-EXPANSION" || OOM.String() != "OOM" {
+		t.Error("verdict names wrong")
+	}
+}
+
+func TestCheckFigure2Verdicts(t *testing.T) {
+	sweep := inputs.RNASweep() // 621, 935, 1135, 1335
+	srv := platform.Server()
+	cxl := platform.ServerWithCXL()
+
+	want := []struct {
+		plain, withCXL Verdict
+	}{
+		{OK, OK},             // 79 GiB
+		{NeedsExpansion, OK}, // 506 GiB > 512-6 floor... close to DRAM limit
+		{NeedsExpansion, OK}, // 644 GiB: CXL required (paper)
+		{OOM, OOM},           // >768 GiB: failed even with CXL (paper)
+	}
+	for i, in := range sweep {
+		if got := Check(in, srv, 8).Verdict; got != want[i].plain {
+			t.Errorf("%s on server: %v, want %v", in.Name, got, want[i].plain)
+		}
+		if got := Check(in, cxl, 8).Verdict; got != want[i].withCXL {
+			t.Errorf("%s on server+CXL: %v, want %v", in.Name, got, want[i].withCXL)
+		}
+	}
+}
+
+func TestCheckTableIISamplesFitOnServer(t *testing.T) {
+	srv := platform.Server()
+	for _, in := range inputs.Samples() {
+		est := Check(in, srv, 8)
+		if est.Verdict != OK {
+			t.Errorf("%s on server: %v, all Table II samples ran on the server", in.Name, est.Verdict)
+		}
+		if est.PeakBytes <= est.BaselineBytes {
+			t.Errorf("%s peak not above baseline", in.Name)
+		}
+	}
+}
+
+func TestCheckProteinThreadsMatter(t *testing.T) {
+	in, _ := inputs.ByName("1YY9")
+	e1 := Check(in, platform.Desktop(), 1)
+	e8 := Check(in, platform.Desktop(), 8)
+	if e8.ProteinBytes <= e1.ProteinBytes {
+		t.Error("protein memory must grow with threads (Section III-C)")
+	}
+	if e8.RNABytes != e1.RNABytes {
+		t.Error("RNA memory must be thread-independent (Section III-C)")
+	}
+}
+
+func TestMaxSafeRNALength(t *testing.T) {
+	plain := MaxSafeRNALength(platform.Server())
+	cxl := MaxSafeRNALength(platform.ServerWithCXL())
+	desk := MaxSafeRNALength(platform.Desktop())
+	if !(desk < plain && plain < cxl) {
+		t.Errorf("safe lengths not ordered: desktop=%d server=%d cxl=%d", desk, plain, cxl)
+	}
+	// Verify the boundary is real: one residue beyond must not fit.
+	budget := platform.Server().TotalMemBytes() - int64(8)<<30
+	if RNAPeakBytes(plain) > budget {
+		t.Error("reported safe length exceeds budget")
+	}
+	if RNAPeakBytes(plain+1) <= budget {
+		t.Error("safe length is not maximal")
+	}
+	// The paper's CXL platform completed 1,135 but not 1,335.
+	if cxl < 1135 || cxl >= 1335 {
+		t.Errorf("CXL safe RNA length = %d, want within [1135, 1335)", cxl)
+	}
+}
+
+func TestAnchorsAccessor(t *testing.T) {
+	a := Anchors()
+	if len(a) != 4 {
+		t.Fatalf("anchors = %d", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Len <= a[i-1].Len {
+			t.Error("anchors not sorted")
+		}
+	}
+	if a[0].Note == "" {
+		t.Error("anchor provenance missing")
+	}
+}

@@ -1,0 +1,159 @@
+// Package metering defines the instrumentation contract between the real
+// workload code (HMM search kernels, buffers, tensor ops) and the machine
+// models in simhw/simio. Workload functions report Events describing the
+// work they just performed — instruction estimates, bytes touched, access
+// pattern, working-set size — and a machine model turns those events into
+// cycles, cache misses and simulated seconds for a specific platform.
+//
+// This is the layering seam that lets one execution of the workload be
+// "replayed" against both the Intel Xeon server and the AMD Ryzen desktop
+// models without re-running the algorithms.
+package metering
+
+// Pattern classifies the dominant memory access pattern of an event. The
+// cache and TLB models treat them differently: sequential traffic prefetches
+// almost perfectly, strided traffic costs TLB reach, random traffic pays the
+// full hierarchy.
+type Pattern int
+
+const (
+	Sequential Pattern = iota
+	Strided
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Sequential:
+		return "sequential"
+	case Strided:
+		return "strided"
+	case Random:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one unit of reported work, attributed to a named function. The
+// function names mirror the hot symbols in the paper's Tables IV and V
+// (calc_band_9, calc_band_10, addbuf, seebuf, copy_to_iter,
+// std::vector::_M_fill_insert, xla::ShapeUtil::ByteSizeOf) so the profiler
+// output lines up with the paper's perf reports.
+type Event struct {
+	// Func is the symbol the work is attributed to.
+	Func string
+	// Instructions is the retired-instruction estimate for the event.
+	Instructions uint64
+	// Bytes is the total data volume touched (reads + writes).
+	Bytes uint64
+	// WorkingSet is the live data footprint in bytes during the event; the
+	// cache model compares it against per-level capacities.
+	WorkingSet uint64
+	// Pattern is the dominant access pattern.
+	Pattern Pattern
+	// Branches is the conditional-branch estimate.
+	Branches uint64
+	// BranchMissRate is the workload-intrinsic misprediction probability
+	// in [0,1]; the CPU model scales it by its predictor quality.
+	BranchMissRate float64
+	// PageTouches counts distinct virtual pages touched, driving the dTLB
+	// and page-fault models. Zero means "derive from Bytes/pageSize".
+	PageTouches uint64
+	// Allocated is bytes newly allocated during the event (drives page
+	// faults on first touch, Table V's _M_fill_insert behavior).
+	Allocated uint64
+}
+
+// Meter receives events. Implementations must be safe for use from the
+// single goroutine that owns them; concurrent workers each get their own
+// Meter and the owner merges afterwards.
+type Meter interface {
+	Record(ev Event)
+}
+
+// Nop discards all events; it is the default when a caller does not care
+// about simulation, keeping the workload code unconditional.
+type Nop struct{}
+
+// Record implements Meter.
+func (Nop) Record(Event) {}
+
+// Accumulator collects events verbatim, summing per-function totals. It is
+// the standard sink for one worker thread's activity.
+type Accumulator struct {
+	Events []Event
+}
+
+// Record implements Meter.
+func (a *Accumulator) Record(ev Event) { a.Events = append(a.Events, ev) }
+
+// Totals sums the accumulated events.
+func (a *Accumulator) Totals() Event {
+	var t Event
+	t.Func = "total"
+	for _, ev := range a.Events {
+		t.Instructions += ev.Instructions
+		t.Bytes += ev.Bytes
+		t.Branches += ev.Branches
+		t.PageTouches += ev.PageTouches
+		t.Allocated += ev.Allocated
+		if ev.WorkingSet > t.WorkingSet {
+			t.WorkingSet = ev.WorkingSet
+		}
+	}
+	return t
+}
+
+// ByFunc groups the accumulated events per function symbol, summing counts
+// and keeping the maximum working set.
+func (a *Accumulator) ByFunc() map[string]Event {
+	out := make(map[string]Event)
+	for _, ev := range a.Events {
+		cur := out[ev.Func]
+		cur.Func = ev.Func
+		cur.Instructions += ev.Instructions
+		cur.Bytes += ev.Bytes
+		cur.Branches += ev.Branches
+		cur.PageTouches += ev.PageTouches
+		cur.Allocated += ev.Allocated
+		if ev.WorkingSet > cur.WorkingSet {
+			cur.WorkingSet = ev.WorkingSet
+		}
+		if ev.Pattern > cur.Pattern {
+			// Keep the "worst" (least cache friendly) pattern seen.
+			cur.Pattern = ev.Pattern
+		}
+		// Weighted blend of branch miss rates by branch count.
+		if ev.Branches > 0 {
+			tot := float64(cur.Branches)
+			cur.BranchMissRate = (cur.BranchMissRate*(tot-float64(ev.Branches)) +
+				ev.BranchMissRate*float64(ev.Branches)) / tot
+		}
+		out[ev.Func] = cur
+	}
+	return out
+}
+
+// Scaled returns a Meter that multiplies instruction/byte counts by factor
+// before forwarding to next. The suite uses it to map MiB-scale synthetic
+// databases onto the paper's GiB-scale work volumes.
+func Scaled(next Meter, factor float64) Meter {
+	return &scaledMeter{next: next, factor: factor}
+}
+
+type scaledMeter struct {
+	next   Meter
+	factor float64
+}
+
+// Record implements Meter, scaling counts before forwarding.
+func (m *scaledMeter) Record(ev Event) {
+	ev.Instructions = uint64(float64(ev.Instructions) * m.factor)
+	ev.Bytes = uint64(float64(ev.Bytes) * m.factor)
+	ev.Branches = uint64(float64(ev.Branches) * m.factor)
+	ev.PageTouches = uint64(float64(ev.PageTouches) * m.factor)
+	ev.Allocated = uint64(float64(ev.Allocated) * m.factor)
+	m.next.Record(ev)
+}

@@ -1,0 +1,75 @@
+package metering
+
+import (
+	"testing"
+)
+
+func TestNopDiscards(t *testing.T) {
+	var m Meter = Nop{}
+	m.Record(Event{Func: "x", Instructions: 1}) // must not panic
+}
+
+func TestAccumulatorTotals(t *testing.T) {
+	var a Accumulator
+	a.Record(Event{Func: "f", Instructions: 10, Bytes: 100, WorkingSet: 50, Branches: 5, Allocated: 7})
+	a.Record(Event{Func: "g", Instructions: 20, Bytes: 200, WorkingSet: 80, Branches: 15, PageTouches: 3})
+	tot := a.Totals()
+	if tot.Instructions != 30 || tot.Bytes != 300 || tot.Branches != 20 {
+		t.Errorf("totals wrong: %+v", tot)
+	}
+	if tot.WorkingSet != 80 {
+		t.Errorf("WorkingSet should be max, got %d", tot.WorkingSet)
+	}
+	if tot.Allocated != 7 || tot.PageTouches != 3 {
+		t.Errorf("allocated/pages wrong: %+v", tot)
+	}
+}
+
+func TestByFuncGroups(t *testing.T) {
+	var a Accumulator
+	a.Record(Event{Func: "f", Instructions: 10, Pattern: Sequential, Branches: 100, BranchMissRate: 0.1})
+	a.Record(Event{Func: "f", Instructions: 5, Pattern: Random, Branches: 100, BranchMissRate: 0.3})
+	a.Record(Event{Func: "g", Instructions: 7})
+	by := a.ByFunc()
+	if len(by) != 2 {
+		t.Fatalf("groups = %d, want 2", len(by))
+	}
+	f := by["f"]
+	if f.Instructions != 15 {
+		t.Errorf("f instructions = %d, want 15", f.Instructions)
+	}
+	if f.Pattern != Random {
+		t.Errorf("worst pattern not kept: %v", f.Pattern)
+	}
+	if f.BranchMissRate < 0.19 || f.BranchMissRate > 0.21 {
+		t.Errorf("blended branch miss rate = %v, want 0.2", f.BranchMissRate)
+	}
+	if by["g"].Instructions != 7 {
+		t.Error("g instructions wrong")
+	}
+}
+
+func TestScaledMultiplies(t *testing.T) {
+	var a Accumulator
+	s := Scaled(&a, 10)
+	s.Record(Event{Func: "f", Instructions: 3, Bytes: 5, Branches: 7, PageTouches: 2, Allocated: 1, WorkingSet: 99})
+	if len(a.Events) != 1 {
+		t.Fatal("event not forwarded")
+	}
+	ev := a.Events[0]
+	if ev.Instructions != 30 || ev.Bytes != 50 || ev.Branches != 70 || ev.PageTouches != 20 || ev.Allocated != 10 {
+		t.Errorf("scaling wrong: %+v", ev)
+	}
+	if ev.WorkingSet != 99 {
+		t.Errorf("WorkingSet must not be scaled, got %d", ev.WorkingSet)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if Sequential.String() != "sequential" || Strided.String() != "strided" || Random.String() != "random" {
+		t.Error("pattern names wrong")
+	}
+	if Pattern(42).String() != "unknown" {
+		t.Error("unknown pattern name wrong")
+	}
+}

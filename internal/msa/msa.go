@@ -1,0 +1,265 @@
+package msa
+
+import (
+	"fmt"
+	"sync"
+
+	"afsysbench/internal/hmmer"
+	"afsysbench/internal/inputs"
+	"afsysbench/internal/metering"
+	"afsysbench/internal/seq"
+	"afsysbench/internal/seqdb"
+)
+
+// Options configures one MSA phase run.
+type Options struct {
+	// Threads is the worker count (the paper sweeps 1–8; AF3 defaults
+	// to 8).
+	Threads int
+	// Rounds is the jackhmmer iteration count for protein chains
+	// (default 2). RNA chains always scan once (nhmmer).
+	Rounds int
+	// Search carries engine options shared by all searches.
+	Search hmmer.SearchOptions
+	// DBs are the reference databases.
+	DBs *DBSet
+	// WorkCalibration scales the synthetic-to-paper work mapping. It is
+	// the one free constant of the MSA volume model, set so the simulated
+	// 2PV7 MSA phase lands at the paper's Figure 3 scale. Zero means the
+	// calibrated default.
+	WorkCalibration float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = 8 // AF3's fixed default, which the paper questions
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 2
+	}
+	if o.WorkCalibration <= 0 {
+		o.WorkCalibration = 0.4
+	}
+	return o
+}
+
+// ChainResult summarizes one chain's searches.
+type ChainResult struct {
+	ChainID    string
+	Type       seq.MoleculeType
+	Hits       int
+	Candidates int
+	Scanned    int
+	// Rows is the recruited alignment depth (including the query row).
+	Rows int
+	// HitResidues is the summed length of recruited hits, which feeds the
+	// shared hot-set model (bigger recruited stacks = more shared reuse).
+	HitResidues int
+}
+
+// Result is the outcome of the MSA phase for one input.
+type Result struct {
+	Input    *inputs.Input
+	PerChain []ChainResult
+	Features *Features
+	// Workers holds per-thread metering accumulators (scaled to paper
+	// volume); index = worker id.
+	Workers []*metering.Accumulator
+	// SerialInstructions is the modeled non-parallel work (profile
+	// rebuilds, hit merging, feature assembly) at paper scale.
+	SerialInstructions uint64
+	// Streamed maps database name to total modeled bytes scanned (passes
+	// × modeled size) — the storage model's input.
+	Streamed map[string]int64
+	// TotalHitResidues sums HitResidues over chains.
+	TotalHitResidues int
+	// Pairing is the cross-chain species-pairing outcome (empty for
+	// single-chain inputs).
+	Pairing *PairingResult
+}
+
+// Run executes the MSA phase for the input: for every protein/RNA chain,
+// search the matching databases with Threads workers sharding each
+// database, iterating protein profiles Rounds times.
+func Run(in *inputs.Input, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.DBs == nil {
+		return nil, fmt.Errorf("msa: no databases configured")
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Input:    in,
+		Workers:  make([]*metering.Accumulator, opts.Threads),
+		Streamed: make(map[string]int64),
+	}
+	for i := range res.Workers {
+		res.Workers[i] = &metering.Accumulator{}
+	}
+
+	var perChainHits [][]hmmer.Hit
+	for _, chain := range in.MSAChains() {
+		cr, hits, err := runChain(chain, opts, res)
+		if err != nil {
+			return nil, fmt.Errorf("msa %s chain %s: %w", in.Name, chain.IDs[0], err)
+		}
+		res.PerChain = append(res.PerChain, cr)
+		res.TotalHitResidues += cr.HitResidues
+		perChainHits = append(perChainHits, hits)
+	}
+	// Cross-chain species pairing (serial, between search and features).
+	res.Pairing = pairChains(perChainHits)
+	totalHits := 0
+	for _, hits := range perChainHits {
+		totalHits += len(hits)
+	}
+	res.SerialInstructions += uint64(totalHits) * 3000 // paired-row assembly
+
+	res.Features = buildFeatures(in, res.PerChain)
+	res.Features.PairedRows = len(res.Pairing.Rows)
+	// Feature assembly is serial: stacking, deduplication, pairing.
+	res.SerialInstructions += uint64(res.Features.Rows*res.Features.Cols) * 40
+	return res, nil
+}
+
+// runChain searches all matching databases for one chain, returning its
+// summary and the final round's hit list (for cross-chain pairing).
+func runChain(chain inputs.Chain, opts Options, res *Result) (ChainResult, []hmmer.Hit, error) {
+	query := chain.Sequence
+	cr := ChainResult{ChainID: chain.IDs[0], Type: query.Type}
+	dbs := opts.DBs.For(query.Type)
+	if len(dbs) == 0 {
+		return cr, nil, fmt.Errorf("no databases for molecule type %v", query.Type)
+	}
+	rounds := opts.Rounds
+	if query.Type != seq.Protein {
+		rounds = 1 // nhmmer is single-pass
+	}
+
+	profile, err := hmmer.BuildFromQuery(query)
+	if err != nil {
+		return cr, nil, err
+	}
+	var lastHits []hmmer.Hit
+	for round := 0; round < rounds; round++ {
+		var allHits []hmmer.Hit
+		for _, db := range dbs {
+			merged, err := scanParallel(profile, query, db, opts, res)
+			if err != nil {
+				return cr, nil, err
+			}
+			res.Streamed[db.Name] += db.ModeledBytes()
+			allHits = append(allHits, merged.Hits...)
+			cr.Candidates += merged.Candidates
+			cr.Scanned += merged.Scanned
+		}
+		lastHits = allHits
+		if round == rounds-1 {
+			break
+		}
+		rows := hmmer.BuildHitAlignment(query, allHits, inclusionE(opts))
+		// Profile rebuild is serial work between rounds; model it at the
+		// paper-scale recruited depth.
+		res.SerialInstructions += uint64(len(rows)*query.Len()) * 600
+		if len(rows) <= 1 {
+			break
+		}
+		profile, err = hmmer.BuildFromAlignment(query.ID, query.Type, rows)
+		if err != nil {
+			return cr, nil, err
+		}
+	}
+	cr.Hits = len(lastHits)
+	cr.Rows = 1
+	for _, h := range lastHits {
+		cr.HitResidues += h.Target.Len()
+		if h.EValue <= inclusionE(opts) {
+			cr.Rows++
+		}
+	}
+	// Merging and E-value sorting of the paper-scale hit list is serial.
+	res.SerialInstructions += uint64(cr.HitResidues) * 1200
+	return cr, lastHits, nil
+}
+
+func inclusionE(opts Options) float64 {
+	if opts.Search.InclusionEValue != 0 {
+		return opts.Search.InclusionEValue
+	}
+	return 1e-3
+}
+
+// scanParallel shards db across the workers, scanning concurrently — the
+// analog of HMMER's worker threads consuming reader blocks. Each worker's
+// metering events are scaled by the database's synthetic-to-paper factor
+// before accumulation.
+func scanParallel(profile *hmmer.Profile, query *seq.Sequence, db *seqdb.DB, opts Options, res *Result) (*hmmer.Result, error) {
+	t := opts.Threads
+	searchOpts := opts.Search
+	searchOpts.DBFootprint = uint64(db.ModeledBytes())
+
+	parts := make([]*hmmer.Result, t)
+	errs := make([]error, t)
+	var wg sync.WaitGroup
+	for w := 0; w < t; w++ {
+		lo := len(db.Seqs) * w / t
+		hi := len(db.Seqs) * (w + 1) / t
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			meter := metering.Scaled(res.Workers[w], db.ScaleFactor*opts.WorkCalibration)
+			src := &hmmer.SliceSource{Seqs: db.Seqs[lo:hi]}
+			parts[w], errs[w] = hmmer.ScanRecords(profile, query, src, db.TotalResidues(), searchOpts, meter)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return hmmer.MergeResults(query.ID, parts), nil
+}
+
+// Features is the stacked MSA representation of shape (M × N × d): M
+// alignment rows over N total residue columns; d is the one-hot feature
+// width (alphabet size plus gap).
+type Features struct {
+	Rows int // M
+	Cols int // N: total residues across chains
+	// FeatureDim is d: protein alphabet + gap marker.
+	FeatureDim int
+	// RowsPerChain maps chain id to recruited depth.
+	RowsPerChain map[string]int
+	// PairedRows is the number of cross-chain species-paired rows.
+	PairedRows int
+}
+
+// Bytes returns the dense feature tensor size (M×N×d single bytes).
+func (f *Features) Bytes() int64 {
+	return int64(f.Rows) * int64(f.Cols) * int64(f.FeatureDim)
+}
+
+func buildFeatures(in *inputs.Input, chains []ChainResult) *Features {
+	f := &Features{
+		Cols:         in.TotalResidues(),
+		FeatureDim:   len(seq.ProteinAlphabet) + 1,
+		RowsPerChain: make(map[string]int),
+	}
+	// The stacked MSA depth is the deepest chain alignment; shallower
+	// chains are padded (AF3 pads per-chain MSAs into one block).
+	for _, c := range chains {
+		f.RowsPerChain[c.ChainID] = c.Rows
+		if c.Rows > f.Rows {
+			f.Rows = c.Rows
+		}
+	}
+	if f.Rows == 0 {
+		f.Rows = 1
+	}
+	return f
+}

@@ -1,0 +1,93 @@
+package msa
+
+import (
+	"sort"
+
+	"afsysbench/internal/hmmer"
+	"afsysbench/internal/seqdb"
+)
+
+// Cross-chain MSA pairing. For multi-chain assemblies AF3 pairs alignment
+// rows across chains by source organism, so co-evolutionary signal between
+// interacting chains survives into the pair representation. The pairing
+// stage runs after all per-chain searches, on the CPU, serially — part of
+// the data-preparation work between search and featurization.
+
+// PairedRow is one cross-chain row: for each chain (by result order), the
+// hit identifier contributed by one organism, or "" when that chain has no
+// hit from it.
+type PairedRow struct {
+	Species string
+	// HitIDs[i] is the hit for chain i (parallel to Result.PerChain).
+	HitIDs []string
+}
+
+// Complete reports whether every chain contributed a hit.
+func (r PairedRow) Complete() bool {
+	for _, id := range r.HitIDs {
+		if id == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// PairingResult summarizes the pairing stage.
+type PairingResult struct {
+	Rows []PairedRow
+	// CompleteRows counts rows with a hit in every chain — the rows that
+	// carry full inter-chain signal.
+	CompleteRows int
+}
+
+// pairChains builds species-paired rows from per-chain hit lists. Only the
+// best hit per (chain, species) participates, mirroring AF3's
+// best-per-species pairing policy.
+func pairChains(perChain [][]hmmer.Hit) *PairingResult {
+	res := &PairingResult{}
+	if len(perChain) < 2 {
+		return res // pairing is only defined across chains
+	}
+	// Best hit per species per chain.
+	best := make([]map[string]hmmer.Hit, len(perChain))
+	speciesSet := map[string]bool{}
+	for ci, hits := range perChain {
+		best[ci] = make(map[string]hmmer.Hit)
+		for _, h := range hits {
+			sp := seqdb.SpeciesOf(h.TargetID)
+			if sp == "" {
+				continue
+			}
+			cur, ok := best[ci][sp]
+			if !ok || h.EValue < cur.EValue {
+				best[ci][sp] = h
+			}
+			speciesSet[sp] = true
+		}
+	}
+	species := make([]string, 0, len(speciesSet))
+	for sp := range speciesSet {
+		species = append(species, sp)
+	}
+	sort.Strings(species)
+
+	for _, sp := range species {
+		row := PairedRow{Species: sp, HitIDs: make([]string, len(perChain))}
+		present := 0
+		for ci := range perChain {
+			if h, ok := best[ci][sp]; ok {
+				row.HitIDs[ci] = h.TargetID
+				present++
+			}
+		}
+		// A row is only useful if at least two chains pair up.
+		if present < 2 {
+			continue
+		}
+		res.Rows = append(res.Rows, row)
+		if row.Complete() {
+			res.CompleteRows++
+		}
+	}
+	return res
+}

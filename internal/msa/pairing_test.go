@@ -1,0 +1,121 @@
+package msa
+
+import (
+	"testing"
+
+	"afsysbench/internal/hmmer"
+	"afsysbench/internal/inputs"
+	"afsysbench/internal/seqdb"
+)
+
+func hit(id string, e float64) hmmer.Hit {
+	return hmmer.Hit{TargetID: id, EValue: e}
+}
+
+func TestSpeciesOf(t *testing.T) {
+	if got := seqdb.SpeciesOf("uniref_s|000012@sp07"); got != "sp07" {
+		t.Errorf("SpeciesOf = %q", got)
+	}
+	if got := seqdb.SpeciesOf("plain-id"); got != "" {
+		t.Errorf("untagged id gave %q", got)
+	}
+}
+
+func TestPairChainsMatchesAcrossChains(t *testing.T) {
+	perChain := [][]hmmer.Hit{
+		{hit("db|a@sp01", 1e-9), hit("db|b@sp02", 1e-8)},
+		{hit("db|c@sp01", 1e-7), hit("db|d@sp03", 1e-6)},
+	}
+	res := pairChains(perChain)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (only sp01 spans both chains)", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.Species != "sp01" || row.HitIDs[0] != "db|a@sp01" || row.HitIDs[1] != "db|c@sp01" {
+		t.Errorf("row wrong: %+v", row)
+	}
+	if !row.Complete() || res.CompleteRows != 1 {
+		t.Error("complete-row accounting wrong")
+	}
+}
+
+func TestPairChainsBestPerSpecies(t *testing.T) {
+	perChain := [][]hmmer.Hit{
+		{hit("db|weak@sp01", 1e-3), hit("db|strong@sp01", 1e-12)},
+		{hit("db|x@sp01", 1e-5)},
+	}
+	res := pairChains(perChain)
+	if len(res.Rows) != 1 {
+		t.Fatal("pairing missing")
+	}
+	if res.Rows[0].HitIDs[0] != "db|strong@sp01" {
+		t.Errorf("best-per-species not honored: %+v", res.Rows[0])
+	}
+}
+
+func TestPairChainsPartialRows(t *testing.T) {
+	// Three chains, one species present in only two of them.
+	perChain := [][]hmmer.Hit{
+		{hit("a@sp05", 1e-9)},
+		{hit("b@sp05", 1e-9)},
+		{hit("c@sp09", 1e-9)},
+	}
+	res := pairChains(perChain)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Complete() {
+		t.Error("two-of-three row reported complete")
+	}
+	if res.CompleteRows != 0 {
+		t.Error("complete count wrong")
+	}
+}
+
+func TestPairChainsSingleChainEmpty(t *testing.T) {
+	res := pairChains([][]hmmer.Hit{{hit("a@sp01", 1e-9)}})
+	if len(res.Rows) != 0 {
+		t.Error("single-chain input must not pair")
+	}
+	if res := pairChains(nil); len(res.Rows) != 0 {
+		t.Error("empty input must not pair")
+	}
+}
+
+func TestPairChainsIgnoresUntagged(t *testing.T) {
+	perChain := [][]hmmer.Hit{
+		{hit("no-species", 1e-9)},
+		{hit("also-none", 1e-9)},
+	}
+	if res := pairChains(perChain); len(res.Rows) != 0 {
+		t.Error("untagged hits paired")
+	}
+}
+
+func TestPipelinePairsComplexSamples(t *testing.T) {
+	// 1YY9 has three protein chains whose planted homologs share species
+	// tags: the pipeline must produce complete paired rows.
+	in, _ := inputs.ByName("1YY9")
+	res, err := Run(in, Options{Threads: 2, DBs: dbs(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairing == nil || len(res.Pairing.Rows) == 0 {
+		t.Fatal("no paired rows for a three-chain complex")
+	}
+	if res.Pairing.CompleteRows == 0 {
+		t.Error("no complete rows despite shared homolog species")
+	}
+	if res.Features.PairedRows != len(res.Pairing.Rows) {
+		t.Error("features do not carry the pairing depth")
+	}
+	// 2PV7 has a single unique chain: nothing to pair.
+	mono, _ := inputs.ByName("2PV7")
+	mres, err := Run(mono, Options{Threads: 2, DBs: dbs(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mres.Pairing.Rows) != 0 {
+		t.Error("single-chain sample produced paired rows")
+	}
+}

@@ -1,0 +1,173 @@
+// Package profile renders perf-report-style function-level profiles from
+// the CPU model's per-function counters — the suite's analog of the
+// paper's `perf record`/uProf workflow (Tables IV and V).
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"afsysbench/internal/simhw"
+)
+
+// Metric selects what a report ranks by.
+type Metric int
+
+const (
+	Cycles Metric = iota
+	Instructions
+	CacheMisses
+	TLBMisses
+	PageFaults
+	BranchMisses
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Cycles:
+		return "cycles"
+	case Instructions:
+		return "instructions"
+	case CacheMisses:
+		return "cache-misses"
+	case TLBMisses:
+		return "dTLB-load-misses"
+	case PageFaults:
+		return "page-faults"
+	case BranchMisses:
+		return "branch-misses"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// value extracts the metric from counters.
+func (m Metric) value(c simhw.Counters) float64 {
+	switch m {
+	case Cycles:
+		return float64(c.Cycles)
+	case Instructions:
+		return float64(c.Instructions)
+	case CacheMisses:
+		return float64(c.LLCMisses)
+	case TLBMisses:
+		return float64(c.TLBMisses)
+	case PageFaults:
+		return float64(c.PageFaults)
+	case BranchMisses:
+		return float64(c.BranchMisses)
+	default:
+		return 0
+	}
+}
+
+// Row is one line of a report.
+type Row struct {
+	Function string
+	Value    float64
+	SharePct float64
+}
+
+// Report ranks the per-function counters by the metric, descending,
+// keeping functions above minSharePct.
+func Report(perFunc map[string]simhw.Counters, metric Metric, minSharePct float64) []Row {
+	var total float64
+	for _, c := range perFunc {
+		total += metric.value(c)
+	}
+	if total == 0 {
+		return nil
+	}
+	var rows []Row
+	for fn, c := range perFunc {
+		v := metric.value(c)
+		share := 100 * v / total
+		if share < minSharePct {
+			continue
+		}
+		rows = append(rows, Row{Function: fn, Value: v, SharePct: share})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Value != rows[j].Value {
+			return rows[i].Value > rows[j].Value
+		}
+		return rows[i].Function < rows[j].Function
+	})
+	return rows
+}
+
+// Write prints a perf-report-style listing for the metric.
+func Write(w io.Writer, title string, perFunc map[string]simhw.Counters, metric Metric, minSharePct float64) error {
+	if _, err := fmt.Fprintf(w, "# %s — samples by %s\n", title, metric); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# %-9s %-28s %s\n", "overhead", "symbol", "count"); err != nil {
+		return err
+	}
+	for _, r := range Report(perFunc, metric, minSharePct) {
+		if _, err := fmt.Fprintf(w, "  %6.2f%%   %-28s %.3g\n", r.SharePct, r.Function, r.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stat prints a perf-stat style summary of aggregate counters: the same
+// derived metrics Table III reports, plus raw counts.
+func Stat(w io.Writer, title string, c simhw.Counters, seconds float64) error {
+	if _, err := fmt.Fprintf(w, "# perf stat — %s\n", title); err != nil {
+		return err
+	}
+	rows := []struct {
+		label string
+		value string
+	}{
+		{"instructions", fmt.Sprintf("%d", c.Instructions)},
+		{"cycles", fmt.Sprintf("%d", c.Cycles)},
+		{"IPC", fmt.Sprintf("%.2f", c.IPC())},
+		{"L1-dcache-loads", fmt.Sprintf("%d", c.Loads)},
+		{"L1-dcache-misses", fmt.Sprintf("%d (%.2f%%)", c.L1Misses, c.L1MissPct())},
+		{"LLC-references", fmt.Sprintf("%d", c.LLCRefs)},
+		{"LLC-misses", fmt.Sprintf("%d (%.1f%%)", c.LLCMisses, c.LLCMissPct())},
+		{"cache-miss MPKI", fmt.Sprintf("%.1f", c.CacheMissMPKI())},
+		{"dTLB-load-misses", fmt.Sprintf("%d (%.2f%%)", c.TLBMisses, c.DTLBMissPct())},
+		{"branches", fmt.Sprintf("%d", c.Branches)},
+		{"branch-misses", fmt.Sprintf("%d (%.2f%%)", c.BranchMisses, c.BranchMissPct())},
+		{"page-faults", fmt.Sprintf("%d", c.PageFaults)},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "  %-20s %s\n", r.label, r.value); err != nil {
+			return err
+		}
+	}
+	if seconds > 0 {
+		if _, err := fmt.Fprintf(w, "  %-20s %.3f\n", "seconds (simulated)", seconds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compare renders two profiles side by side (e.g. 1T vs 4T), matching
+// Table IV's layout. Functions are ranked by the first profile.
+func Compare(w io.Writer, title string, metric Metric, labels [2]string, profiles [2]map[string]simhw.Counters, minSharePct float64) error {
+	first := Report(profiles[0], metric, minSharePct)
+	second := map[string]float64{}
+	for _, r := range Report(profiles[1], metric, 0) {
+		second[r.Function] = r.SharePct
+	}
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", title, metric); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# %-28s %10s %10s\n", "symbol", labels[0], labels[1]); err != nil {
+		return err
+	}
+	for _, r := range first {
+		if _, err := fmt.Fprintf(w, "  %-28s %9.2f%% %9.2f%%\n", r.Function, r.SharePct, second[r.Function]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"afsysbench/internal/simhw"
+)
+
+func sampleProfile() map[string]simhw.Counters {
+	return map[string]simhw.Counters{
+		"calc_band_9":  {Cycles: 600, Instructions: 900, LLCMisses: 30, TLBMisses: 5, PageFaults: 0, BranchMisses: 8},
+		"calc_band_10": {Cycles: 550, Instructions: 850, LLCMisses: 25, TLBMisses: 4, BranchMisses: 7},
+		"copy_to_iter": {Cycles: 100, Instructions: 50, LLCMisses: 120, TLBMisses: 1, BranchMisses: 1},
+		"tiny":         {Cycles: 1, Instructions: 1, LLCMisses: 1},
+	}
+}
+
+func TestMetricStrings(t *testing.T) {
+	for _, m := range []Metric{Cycles, Instructions, CacheMisses, TLBMisses, PageFaults, BranchMisses} {
+		if m.String() == "" || strings.HasPrefix(m.String(), "Metric(") {
+			t.Errorf("metric %d has no name", int(m))
+		}
+	}
+}
+
+func TestReportRankingAndShares(t *testing.T) {
+	rows := Report(sampleProfile(), Cycles, 0)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Function != "calc_band_9" || rows[1].Function != "calc_band_10" {
+		t.Errorf("ranking wrong: %v", rows)
+	}
+	var total float64
+	for _, r := range rows {
+		total += r.SharePct
+	}
+	if total < 99.9 || total > 100.1 {
+		t.Errorf("shares sum to %v", total)
+	}
+}
+
+func TestReportByCacheMisses(t *testing.T) {
+	rows := Report(sampleProfile(), CacheMisses, 0)
+	if rows[0].Function != "copy_to_iter" {
+		t.Errorf("cache-miss leader = %s, want copy_to_iter", rows[0].Function)
+	}
+}
+
+func TestReportMinShareFilter(t *testing.T) {
+	rows := Report(sampleProfile(), Cycles, 2)
+	for _, r := range rows {
+		if r.Function == "tiny" {
+			t.Error("below-threshold function not filtered")
+		}
+	}
+}
+
+func TestReportEmpty(t *testing.T) {
+	if rows := Report(map[string]simhw.Counters{}, Cycles, 0); rows != nil {
+		t.Error("empty profile should produce nil")
+	}
+	if rows := Report(map[string]simhw.Counters{"x": {}}, PageFaults, 0); rows != nil {
+		t.Error("all-zero metric should produce nil")
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "msa phase", sampleProfile(), Cycles, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"msa phase", "cycles", "calc_band_9", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareFormat(t *testing.T) {
+	p1 := sampleProfile()
+	p4 := map[string]simhw.Counters{
+		"calc_band_9":  {LLCMisses: 90},
+		"copy_to_iter": {LLCMisses: 60},
+	}
+	var buf bytes.Buffer
+	err := Compare(&buf, "2PV7", CacheMisses, [2]string{"1T", "4T"}, [2]map[string]simhw.Counters{p1, p4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1T") || !strings.Contains(out, "4T") {
+		t.Error("column labels missing")
+	}
+	if !strings.Contains(out, "copy_to_iter") {
+		t.Error("functions missing")
+	}
+}
+
+func TestStatFormat(t *testing.T) {
+	c := simhw.Counters{
+		Instructions: 1000, Cycles: 500, Loads: 400, L1Misses: 4,
+		LLCRefs: 100, LLCMisses: 56, TLBRefs: 400, TLBMisses: 2,
+		Branches: 100, BranchMisses: 1, PageFaults: 7,
+	}
+	var buf bytes.Buffer
+	if err := Stat(&buf, "2PV7 on Server", c, 123.456); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"perf stat", "2PV7 on Server", "IPC", "2.00", "56.0%", "page-faults", "123.456"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := Stat(&buf, "x", simhw.Counters{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "seconds") {
+		t.Error("zero seconds should be omitted")
+	}
+}

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"afsysbench/internal/core"
+)
+
+// CSV marshalers: one per experiment, for external plotting of the exact
+// rows behind the terminal figures.
+
+// CSVFigure2 flattens the memory sweep.
+func CSVFigure2(rows []core.MemRow) ([]string, [][]string) {
+	headers := []string{"rna_length", "peak_gib", "verdict_server", "verdict_server_cxl", "provenance"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.RNALen), F1(r.PeakGiB),
+			r.VerdictOn["Server"], r.VerdictOn["Server+CXL"], r.Note,
+		})
+	}
+	return headers, out
+}
+
+// CSVFigure3 flattens the phase matrix.
+func CSVFigure3(rows []core.PhaseRow) ([]string, [][]string) {
+	headers := []string{"sample", "machine", "threads", "msa_seconds", "inference_seconds", "msa_cv", "inference_cv"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Sample, r.Machine, fmt.Sprint(r.Threads),
+			F2(r.MSASeconds), F2(r.InferenceSeconds),
+			fmt.Sprintf("%.4f", r.MSACV), fmt.Sprintf("%.4f", r.InferenceCV),
+		})
+	}
+	return headers, out
+}
+
+// CSVScaling flattens Figure 4/5 rows.
+func CSVScaling(rows []core.ScalingRow) ([]string, [][]string) {
+	headers := []string{"sample", "machine", "threads", "msa_seconds", "speedup"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Sample, r.Machine, fmt.Sprint(r.Threads), F2(r.Seconds), F2(r.Speedup),
+		})
+	}
+	return headers, out
+}
+
+// CSVFigure6 flattens inference-vs-threads rows.
+func CSVFigure6(rows []core.InferenceRow) ([]string, [][]string) {
+	headers := []string{"sample", "machine", "threads", "inference_seconds"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Sample, r.Machine, fmt.Sprint(r.Threads), F2(r.Seconds)})
+	}
+	return headers, out
+}
+
+// CSVFigure7 flattens phase shares.
+func CSVFigure7(rows []core.ShareRow) ([]string, [][]string) {
+	headers := []string{"sample", "machine", "optimal_threads", "msa_pct", "inference_pct"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Sample, r.Machine, fmt.Sprint(r.OptimalThreads), F1(r.MSAPct), F1(r.InferencePct),
+		})
+	}
+	return headers, out
+}
+
+// CSVFigure8 flattens the inference breakdown.
+func CSVFigure8(rows []core.BreakdownRow) ([]string, [][]string) {
+	headers := []string{"sample", "machine", "init_s", "compile_s", "compute_s", "finalize_s", "overhead_pct", "unified_memory"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Sample, r.Machine, F2(r.Init), F2(r.Compile), F2(r.Compute), F2(r.Finalize),
+			F1(r.OverheadPct()), fmt.Sprint(r.Spilled),
+		})
+	}
+	return headers, out
+}
+
+// CSVFigure9 flattens the layer shares.
+func CSVFigure9(rows []core.LayerRow) ([]string, [][]string) {
+	headers := []string{"sample", "module", "layer", "seconds", "share_pct"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Sample, r.Module, r.Layer, F2(r.Seconds), F1(r.SharePct)})
+	}
+	return headers, out
+}
+
+// CSVTable3 flattens the CPU metric cells.
+func CSVTable3(cells []core.Table3Cell) ([]string, [][]string) {
+	headers := []string{"sample", "machine", "threads", "ipc", "miss_mpki", "l1_pct", "llc_pct", "dtlb_pct", "branch_pct"}
+	var out [][]string
+	for _, c := range cells {
+		out = append(out, []string{
+			c.Sample, c.Machine, fmt.Sprint(c.Threads),
+			F2(c.IPC), F2(c.CacheMPKI), F2(c.L1Pct), F2(c.LLCPct), F2(c.DTLBPct), F2(c.BranchPct),
+		})
+	}
+	return headers, out
+}
+
+// CSVTable4 flattens the function shares (one row per metric/function/column).
+func CSVTable4(rows []core.Table4Row) ([]string, [][]string) {
+	headers := []string{"metric", "function", "column", "share_pct"}
+	var out [][]string
+	for _, r := range rows {
+		cols := make([]string, 0, len(r.SharePct))
+		for col := range r.SharePct {
+			cols = append(cols, col)
+		}
+		sort.Strings(cols)
+		for _, col := range cols {
+			out = append(out, []string{r.Metric, r.Function, col, F2(r.SharePct[col])})
+		}
+	}
+	return headers, out
+}
+
+// CSVTable5 flattens the host bottleneck rows.
+func CSVTable5(rows []core.Table5Row) ([]string, [][]string) {
+	headers := []string{"event_type", "symbol", "sample", "overhead_pct"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.EventType, r.Symbol, r.Sample, F2(r.OverheadPct)})
+	}
+	return headers, out
+}
+
+// CSVTable6 flattens the layer-time table.
+func CSVTable6(rows []core.Table6Row) ([]string, [][]string) {
+	headers := []string{"layer", "module_total", "seconds_2pv7", "seconds_promo"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Label, fmt.Sprint(r.IsModuleTotal), F2(r.Per2PV7Seconds), F2(r.PromoSeconds)})
+	}
+	return headers, out
+}

@@ -1,0 +1,290 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"afsysbench/internal/core"
+	"afsysbench/internal/inputs"
+	"afsysbench/internal/platform"
+)
+
+// Renderers: one per paper artifact, consuming the typed rows produced by
+// the core experiment functions.
+
+// RenderFigure2 prints the RNA memory curve with the capacity lines.
+func RenderFigure2(w io.Writer, rows []core.MemRow) error {
+	fmt.Fprintln(w, "Figure 2: peak memory vs RNA sequence length (nhmmer)")
+	srv := platform.Server()
+	fmt.Fprintf(w, "  main memory: %d GiB; with CXL expansion: %d GiB\n",
+		srv.DRAMBytes>>30, platform.ServerWithCXL().TotalMemBytes()>>30)
+	var trows [][]string
+	for _, r := range rows {
+		trows = append(trows, []string{
+			fmt.Sprint(r.RNALen),
+			F1(r.PeakGiB),
+			r.VerdictOn["Server"],
+			r.VerdictOn["Server+CXL"],
+			r.Note,
+		})
+	}
+	return Table(w, []string{"RNA length", "peak GiB", "server", "server+CXL", "provenance"}, trows)
+}
+
+// RenderFigure3 prints the stacked phase bars grouped by sample.
+func RenderFigure3(w io.Writer, rows []core.PhaseRow) error {
+	fmt.Fprintln(w, "Figure 3: total execution time (MSA + inference) by sample, platform, threads")
+	grouped := map[string][]core.PhaseRow{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := grouped[r.Sample]; !ok {
+			order = append(order, r.Sample)
+		}
+		grouped[r.Sample] = append(grouped[r.Sample], r)
+	}
+	for _, sample := range order {
+		var bars []Bar
+		for _, r := range grouped[sample] {
+			bars = append(bars, Bar{
+				Label: fmt.Sprintf("%s %dT", r.Machine, r.Threads),
+				Segments: []Segment{
+					{Name: "MSA", Value: r.MSASeconds},
+					{Name: "inference", Value: r.InferenceSeconds},
+				},
+			})
+		}
+		if err := StackedBars(w, "sample "+sample, bars, 50); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderScaling prints Figure 4/5 style time+speedup curves.
+func RenderScaling(w io.Writer, title string, rows []core.ScalingRow) error {
+	fmt.Fprintln(w, title)
+	type curveKey struct{ sample, machine string }
+	grouped := map[curveKey][]core.ScalingRow{}
+	var order []curveKey
+	for _, r := range rows {
+		k := curveKey{r.Sample, r.Machine}
+		if _, ok := grouped[k]; !ok {
+			order = append(order, k)
+		}
+		grouped[k] = append(grouped[k], r)
+	}
+	var timeSeries, speedupSeries []Series
+	for _, k := range order {
+		var tp, sp []Point
+		for _, r := range grouped[k] {
+			tp = append(tp, Point{X: float64(r.Threads), Y: r.Seconds})
+			sp = append(sp, Point{X: float64(r.Threads), Y: r.Speedup})
+		}
+		name := k.sample + "@" + k.machine
+		timeSeries = append(timeSeries, Series{Name: name + " (s)", Points: tp})
+		speedupSeries = append(speedupSeries, Series{Name: name + " (x)", Points: sp})
+	}
+	if err := LineChart(w, "MSA time by threads", "threads", timeSeries); err != nil {
+		return err
+	}
+	return LineChart(w, "speedup by threads", "threads", speedupSeries)
+}
+
+// RenderFigure6 prints inference time vs threads.
+func RenderFigure6(w io.Writer, rows []core.InferenceRow) error {
+	fmt.Fprintln(w, "Figure 6: inference time vs CPU threads")
+	type curveKey struct{ sample, machine string }
+	grouped := map[curveKey][]core.InferenceRow{}
+	var order []curveKey
+	for _, r := range rows {
+		k := curveKey{r.Sample, r.Machine}
+		if _, ok := grouped[k]; !ok {
+			order = append(order, k)
+		}
+		grouped[k] = append(grouped[k], r)
+	}
+	var series []Series
+	for _, k := range order {
+		var pts []Point
+		for _, r := range grouped[k] {
+			pts = append(pts, Point{X: float64(r.Threads), Y: r.Seconds})
+		}
+		series = append(series, Series{Name: k.sample + "@" + k.machine, Points: pts})
+	}
+	return LineChart(w, "inference seconds", "threads", series)
+}
+
+// RenderFigure7 prints the phase-share bars.
+func RenderFigure7(w io.Writer, rows []core.ShareRow) error {
+	fmt.Fprintln(w, "Figure 7: relative time distribution at optimal threads")
+	var trows [][]string
+	for _, r := range rows {
+		trows = append(trows, []string{
+			r.Sample, r.Machine, fmt.Sprint(r.OptimalThreads),
+			Pct(r.MSAPct), Pct(r.InferencePct),
+		})
+	}
+	return Table(w, []string{"sample", "machine", "opt threads", "MSA", "inference"}, trows)
+}
+
+// RenderFigure8 prints the inference phase breakdown bars.
+func RenderFigure8(w io.Writer, rows []core.BreakdownRow) error {
+	fmt.Fprintln(w, "Figure 8: GPU inference time breakdown")
+	var bars []Bar
+	for _, r := range rows {
+		label := fmt.Sprintf("%s@%s", r.Sample, r.Machine)
+		if r.Spilled {
+			label += " (unified mem)"
+		}
+		bars = append(bars, Bar{
+			Label: label,
+			Segments: []Segment{
+				{Name: "init", Value: r.Init},
+				{Name: "xla compile", Value: r.Compile},
+				{Name: "gpu compute", Value: r.Compute},
+				{Name: "finalize", Value: r.Finalize},
+			},
+		})
+	}
+	if err := StackedBars(w, "", bars, 50); err != nil {
+		return err
+	}
+	var trows [][]string
+	for _, r := range rows {
+		trows = append(trows, []string{
+			r.Sample, r.Machine, F1(r.Init), F1(r.Compile), F1(r.Compute), F1(r.Finalize), Pct(r.OverheadPct()),
+		})
+	}
+	return Table(w, []string{"sample", "machine", "init s", "compile s", "compute s", "finalize s", "overhead"}, trows)
+}
+
+// RenderFigure9 prints the layer pies per sample.
+func RenderFigure9(w io.Writer, rows []core.LayerRow) error {
+	fmt.Fprintln(w, "Figure 9: Pairformer and Diffusion layer execution breakdown")
+	grouped := map[string][]core.LayerRow{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := grouped[r.Sample]; !ok {
+			order = append(order, r.Sample)
+		}
+		grouped[r.Sample] = append(grouped[r.Sample], r)
+	}
+	for _, sample := range order {
+		var slices []Segment
+		for _, r := range grouped[sample] {
+			slices = append(slices, Segment{Name: r.Module + ": " + r.Layer, Value: r.Seconds})
+		}
+		if err := Pie(w, "sample "+sample, slices); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTable3 prints the CPU metric comparison.
+func RenderTable3(w io.Writer, cells []core.Table3Cell) error {
+	fmt.Fprintln(w, "Table III: CPU performance metrics across samples and thread counts")
+	var trows [][]string
+	for _, c := range cells {
+		trows = append(trows, []string{
+			c.Sample, c.Machine, fmt.Sprintf("%dT", c.Threads),
+			F2(c.IPC), F1(c.CacheMPKI), F2(c.L1Pct), F1(c.LLCPct), F2(c.DTLBPct), F2(c.BranchPct),
+		})
+	}
+	return Table(w, []string{"input", "machine", "threads", "IPC", "miss MPKI", "L1 %", "LLC %", "dTLB %", "branch %"}, trows)
+}
+
+// RenderTable4 prints the function-level profile.
+func RenderTable4(w io.Writer, rows []core.Table4Row, cols []string) error {
+	fmt.Fprintln(w, "Table IV: function-level performance on the Server")
+	headers := append([]string{"metric", "function"}, cols...)
+	var trows [][]string
+	for _, r := range rows {
+		// Skip functions that never reach 2% in any column to keep the
+		// report at perf-report size.
+		max := 0.0
+		for _, c := range cols {
+			if r.SharePct[c] > max {
+				max = r.SharePct[c]
+			}
+		}
+		if max < 2 {
+			continue
+		}
+		row := []string{r.Metric, r.Function}
+		for _, c := range cols {
+			row = append(row, Pct(r.SharePct[c]))
+		}
+		trows = append(trows, row)
+	}
+	return Table(w, headers, trows)
+}
+
+// RenderTable5 prints the inference bottleneck profile.
+func RenderTable5(w io.Writer, rows []core.Table5Row) error {
+	fmt.Fprintln(w, "Table V: inference performance bottlenecks on the Server")
+	var trows [][]string
+	for _, r := range rows {
+		trows = append(trows, []string{r.EventType, r.Symbol, r.Sample, Pct(r.OverheadPct)})
+	}
+	return Table(w, []string{"event type", "function/symbol", "sample", "overhead"}, trows)
+}
+
+// RenderTable6 prints the layer-wise ms table.
+func RenderTable6(w io.Writer, rows []core.Table6Row) error {
+	fmt.Fprintln(w, "Table VI: layer-wise execution time breakdown (seconds, simulated H100)")
+	var trows [][]string
+	for _, r := range rows {
+		trows = append(trows, []string{r.Label, F2(r.Per2PV7Seconds), F2(r.PromoSeconds)})
+	}
+	return Table(w, []string{"layer", "2PV7 (s)", "promo (s)"}, trows)
+}
+
+// RenderPlatforms prints Table I.
+func RenderPlatforms(w io.Writer) error {
+	fmt.Fprintln(w, "Table I: system hardware configurations")
+	var trows [][]string
+	for _, m := range platform.All() {
+		trows = append(trows, []string{
+			m.Name, m.CPU.Name,
+			fmt.Sprintf("%d/%d", m.CPU.Cores, m.CPU.Threads),
+			fmt.Sprintf("%.1f/%.1f GHz", m.CPU.BaseClockGHz, m.CPU.MaxClockGHz),
+			fmt.Sprintf("%d MiB", m.CPU.LLCBytes>>20),
+			fmt.Sprintf("%d GiB", m.TotalMemBytes()>>30),
+			m.GPU.Name,
+		})
+	}
+	return Table(w, []string{"machine", "CPU", "cores/threads", "clock", "LLC", "memory", "GPU"}, trows)
+}
+
+// RenderSamples prints Table II.
+func RenderSamples(w io.Writer) error {
+	fmt.Fprintln(w, "Table II: input samples")
+	var trows [][]string
+	for _, name := range core.SampleNames() {
+		in, err := sampleByName(name)
+		if err != nil {
+			return err
+		}
+		trows = append(trows, in)
+	}
+	return Table(w, []string{"sample", "chains", "residues", "RNA", "max low-complexity"}, trows)
+}
+
+func sampleByName(name string) ([]string, error) {
+	in, err := inputs.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	rna := "-"
+	if in.HasRNA() {
+		rna = fmt.Sprint(in.MaxRNALength())
+	}
+	return []string{
+		in.Name,
+		fmt.Sprint(in.ChainCount()),
+		fmt.Sprint(in.TotalResidues()),
+		rna,
+		fmt.Sprintf("%.2f", in.MaxLowComplexity()),
+	}, nil
+}

@@ -1,0 +1,199 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"afsysbench/internal/core"
+)
+
+func TestRenderFigure2(t *testing.T) {
+	rows := []core.MemRow{
+		{RNALen: 621, PeakGiB: 79.3, VerdictOn: map[string]string{"Server": "OK", "Server+CXL": "OK"}, Note: "measured"},
+		{RNALen: 1335, PeakGiB: 810, VerdictOn: map[string]string{"Server": "OOM", "Server+CXL": "OOM"}, Note: "projected"},
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure2(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"512 GiB", "768 GiB", "621", "810.0", "OOM"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRenderFigure3GroupsBySample(t *testing.T) {
+	rows := []core.PhaseRow{
+		{Sample: "2PV7", Machine: "Server", Threads: 1, MSASeconds: 500, InferenceSeconds: 90},
+		{Sample: "2PV7", Machine: "Desktop", Threads: 1, MSASeconds: 450, InferenceSeconds: 100},
+		{Sample: "promo", Machine: "Server", Threads: 1, MSASeconds: 5000, InferenceSeconds: 110},
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure3(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sample 2PV7") || !strings.Contains(out, "sample promo") {
+		t.Errorf("sample groups missing:\n%s", out)
+	}
+	if strings.Index(out, "sample 2PV7") > strings.Index(out, "sample promo") {
+		t.Error("sample order not preserved")
+	}
+}
+
+func TestRenderScalingAndFigure6(t *testing.T) {
+	scal := []core.ScalingRow{
+		{Sample: "6QNR", Machine: "Server", Threads: 1, Seconds: 5534, Speedup: 1},
+		{Sample: "6QNR", Machine: "Server", Threads: 2, Seconds: 3397, Speedup: 1.63},
+	}
+	var buf bytes.Buffer
+	if err := RenderScaling(&buf, "Figure 5", scal); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup by threads") {
+		t.Error("speedup section missing")
+	}
+
+	inf := []core.InferenceRow{
+		{Sample: "2PV7", Machine: "Server", Threads: 1, Seconds: 91},
+		{Sample: "2PV7", Machine: "Server", Threads: 2, Seconds: 92},
+	}
+	buf.Reset()
+	if err := RenderFigure6(&buf, inf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2PV7@Server") {
+		t.Error("series name missing")
+	}
+}
+
+func TestRenderFigure7And8(t *testing.T) {
+	var buf bytes.Buffer
+	shares := []core.ShareRow{{Sample: "promo", Machine: "Server", OptimalThreads: 6, MSAPct: 94.1, InferencePct: 5.9}}
+	if err := RenderFigure7(&buf, shares); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "94.1%") {
+		t.Error("share missing")
+	}
+	buf.Reset()
+	breakdown := []core.BreakdownRow{
+		{Sample: "2PV7", Machine: "Server", Init: 22, Compile: 39, Compute: 21, Finalize: 9},
+		{Sample: "6QNR", Machine: "Desktop", Init: 12, Compile: 16, Compute: 700, Finalize: 6, Spilled: true},
+	}
+	if err := RenderFigure8(&buf, breakdown); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "unified mem") {
+		t.Error("spill annotation missing")
+	}
+	if !strings.Contains(out, "overhead") {
+		t.Error("overhead column missing")
+	}
+}
+
+func TestRenderFigure9AndTables(t *testing.T) {
+	var buf bytes.Buffer
+	layers := []core.LayerRow{
+		{Sample: "2PV7", Module: "Diffusion", Layer: "global attention", Seconds: 13, SharePct: 62.5},
+		{Sample: "2PV7", Module: "Pairformer", Layer: "triangle attention", Seconds: 2, SharePct: 9.0},
+	}
+	if err := RenderFigure9(&buf, layers); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "global attention") {
+		t.Error("layer missing")
+	}
+
+	buf.Reset()
+	cells := []core.Table3Cell{{Sample: "2PV7", Machine: "Server", Threads: 1, IPC: 3.74, LLCPct: 51.8}}
+	if err := RenderTable3(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3.74") {
+		t.Error("IPC missing")
+	}
+
+	buf.Reset()
+	t4 := []core.Table4Row{
+		{Metric: "cycles", Function: "calc_band_9", SharePct: map[string]float64{"2PV7/1T": 26.0}},
+		{Metric: "cycles", Function: "tiny", SharePct: map[string]float64{"2PV7/1T": 0.5}},
+	}
+	if err := RenderTable4(&buf, t4, []string{"2PV7/1T"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "calc_band_9") {
+		t.Error("hot function missing")
+	}
+	if strings.Contains(buf.String(), "tiny") {
+		t.Error("sub-threshold function not filtered")
+	}
+
+	buf.Reset()
+	t5 := []core.Table5Row{{EventType: "Page Faults", Symbol: "std::vector::_M_fill_insert", Sample: "2PV7", OverheadPct: 10}}
+	if err := RenderTable5(&buf, t5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "_M_fill_insert") {
+		t.Error("symbol missing")
+	}
+
+	buf.Reset()
+	t6 := []core.Table6Row{{Label: "Pairformer", Per2PV7Seconds: 3.63, PromoSeconds: 15.06, IsModuleTotal: true}}
+	if err := RenderTable6(&buf, t6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "15.06") {
+		t.Error("value missing")
+	}
+}
+
+func TestCSVMarshalers(t *testing.T) {
+	h, rows := CSVFigure2([]core.MemRow{{RNALen: 621, PeakGiB: 79.3, VerdictOn: map[string]string{"Server": "OK"}}})
+	if len(h) != 5 || len(rows) != 1 || rows[0][0] != "621" {
+		t.Errorf("fig2 csv wrong: %v %v", h, rows)
+	}
+	h, rows = CSVFigure3([]core.PhaseRow{{Sample: "x", Machine: "m", Threads: 4, MSASeconds: 1, InferenceSeconds: 2}})
+	if len(h) != 7 || rows[0][2] != "4" {
+		t.Errorf("fig3 csv wrong")
+	}
+	h, rows = CSVScaling([]core.ScalingRow{{Sample: "x", Machine: "m", Threads: 2, Seconds: 10, Speedup: 2}})
+	if len(h) != 5 || rows[0][4] != "2.00" {
+		t.Error("scaling csv wrong")
+	}
+	h, rows = CSVFigure6([]core.InferenceRow{{Sample: "x", Machine: "m", Threads: 1, Seconds: 9}})
+	if len(h) != 4 || len(rows) != 1 {
+		t.Error("fig6 csv wrong")
+	}
+	h, rows = CSVFigure7([]core.ShareRow{{Sample: "x", Machine: "m", OptimalThreads: 6, MSAPct: 94.1}})
+	if len(h) != 5 || rows[0][3] != "94.1" {
+		t.Error("fig7 csv wrong")
+	}
+	h, rows = CSVFigure8([]core.BreakdownRow{{Sample: "x", Machine: "m", Init: 1, Compile: 2, Compute: 3, Finalize: 4, Spilled: true}})
+	if len(h) != 8 || rows[0][7] != "true" {
+		t.Error("fig8 csv wrong")
+	}
+	h, rows = CSVFigure9([]core.LayerRow{{Sample: "x", Module: "Diffusion", Layer: "global attention", Seconds: 1, SharePct: 50}})
+	if len(h) != 5 || rows[0][2] != "global attention" {
+		t.Error("fig9 csv wrong")
+	}
+	h, rows = CSVTable3([]core.Table3Cell{{Sample: "x", Machine: "m", Threads: 1, IPC: 3.7}})
+	if len(h) != 9 || rows[0][3] != "3.70" {
+		t.Error("tab3 csv wrong")
+	}
+	h, rows = CSVTable4([]core.Table4Row{{Metric: "cycles", Function: "f", SharePct: map[string]float64{"b": 2, "a": 1}}})
+	if len(h) != 4 || len(rows) != 2 || rows[0][2] != "a" {
+		t.Errorf("tab4 csv not sorted: %v", rows)
+	}
+	h, rows = CSVTable5([]core.Table5Row{{EventType: "e", Symbol: "s", Sample: "x", OverheadPct: 1}})
+	if len(h) != 4 || len(rows) != 1 {
+		t.Error("tab5 csv wrong")
+	}
+	h, rows = CSVTable6([]core.Table6Row{{Label: "l", Per2PV7Seconds: 1, PromoSeconds: 2, IsModuleTotal: true}})
+	if len(h) != 4 || rows[0][1] != "true" {
+		t.Error("tab6 csv wrong")
+	}
+}

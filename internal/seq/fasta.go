@@ -1,0 +1,84 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteFASTA writes sequences in FASTA format, wrapping lines at width 60.
+func WriteFASTA(w io.Writer, seqs []*Sequence) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if _, err := fmt.Fprintf(bw, ">%s %s\n", s.ID, s.Type); err != nil {
+			return err
+		}
+		letters := s.Letters()
+		for len(letters) > 0 {
+			n := 60
+			if n > len(letters) {
+				n = len(letters)
+			}
+			if _, err := bw.WriteString(letters[:n]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+			letters = letters[n:]
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTA parses sequences of the given molecule type from FASTA input.
+// The type is required because one-letter codes are ambiguous between
+// chemistries (e.g. "ACG" is valid protein, DNA and RNA).
+func ReadFASTA(r io.Reader, t MoleculeType) ([]*Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []*Sequence
+	var id string
+	var body strings.Builder
+	flush := func() error {
+		if id == "" {
+			return nil
+		}
+		s, err := FromLetters(id, t, body.String())
+		if err != nil {
+			return err
+		}
+		out = append(out, s)
+		body.Reset()
+		return nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			header := strings.TrimSpace(line[1:])
+			if header == "" {
+				return nil, fmt.Errorf("seq: empty FASTA header")
+			}
+			id = strings.Fields(header)[0]
+			continue
+		}
+		if id == "" {
+			return nil, fmt.Errorf("seq: FASTA body before first header")
+		}
+		body.WriteString(line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

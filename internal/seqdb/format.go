@@ -1,0 +1,170 @@
+package seqdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"afsysbench/internal/seq"
+)
+
+// Binary database format:
+//
+//	header:  magic "AFDB" | uint16 version | uint8 moleculeType |
+//	         uint32 numSeqs | float64 scaleFactor | uint16 nameLen | name
+//	record:  uint16 idLen | id | uint32 seqLen | residues (1 byte each)
+//
+// The format is deliberately simple and sequential: the MSA stage streams
+// it front to back, which is the access pattern whose page-cache behavior
+// the storage model reproduces.
+const (
+	magic          = "AFDB"
+	formatVersion  = 1
+	headerSize     = 4 + 2 + 1 + 4 + 8 + 2
+	recordOverhead = 2 + 4
+	// maxRecordLen bounds a single record's residue count on decode so a
+	// corrupted length field cannot trigger a giant allocation.
+	maxRecordLen = 64 << 20
+)
+
+// Write encodes the database to w.
+func (db *DB) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if len(db.Name) > 0xffff {
+		return fmt.Errorf("seqdb: name too long (%d bytes)", len(db.Name))
+	}
+	hdr := make([]byte, 0, headerSize)
+	hdr = binary.BigEndian.AppendUint16(hdr, formatVersion)
+	hdr = append(hdr, byte(db.Type))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(db.Seqs)))
+	hdr = binary.BigEndian.AppendUint64(hdr, floatBits(db.ScaleFactor))
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(db.Name)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(db.Name); err != nil {
+		return err
+	}
+	for _, s := range db.Seqs {
+		if len(s.ID) > 0xffff {
+			return fmt.Errorf("seqdb: record id too long (%d bytes)", len(s.ID))
+		}
+		rec := make([]byte, 0, recordOverhead+len(s.ID))
+		rec = binary.BigEndian.AppendUint16(rec, uint16(len(s.ID)))
+		rec = append(rec, s.ID...)
+		rec = binary.BigEndian.AppendUint32(rec, uint32(s.Len()))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+		if _, err := bw.Write(s.Residues); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a database written by Write.
+func Read(r io.Reader) (*DB, error) {
+	db, sc, err := openHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	db.Seqs = make([]*seq.Sequence, 0, sc.remaining)
+	for sc.Scan() {
+		db.Seqs = append(db.Seqs, sc.Seq())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// OpenScanner reads the header from r and returns a streaming Scanner over
+// the records, for callers that must not hold the whole database in memory.
+func OpenScanner(r io.Reader) (*Scanner, *DB, error) {
+	db, sc, err := openHeader(r)
+	return sc, db, err
+}
+
+func openHeader(r io.Reader) (*DB, *Scanner, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, headerSize)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, nil, fmt.Errorf("seqdb: reading header: %w", err)
+	}
+	if string(head[:4]) != magic {
+		return nil, nil, fmt.Errorf("seqdb: bad magic %q", head[:4])
+	}
+	if v := binary.BigEndian.Uint16(head[4:6]); v != formatVersion {
+		return nil, nil, fmt.Errorf("seqdb: unsupported format version %d", v)
+	}
+	db := &DB{Type: seq.MoleculeType(head[6])}
+	numSeqs := int(binary.BigEndian.Uint32(head[7:11]))
+	db.ScaleFactor = bitsFloat(binary.BigEndian.Uint64(head[11:19]))
+	nameLen := int(binary.BigEndian.Uint16(head[19:21]))
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, nil, fmt.Errorf("seqdb: reading name: %w", err)
+	}
+	db.Name = string(name)
+	return db, &Scanner{br: br, remaining: numSeqs, molType: db.Type}, nil
+}
+
+// Scanner streams database records one at a time.
+type Scanner struct {
+	br        *bufio.Reader
+	remaining int
+	molType   seq.MoleculeType
+	cur       *seq.Sequence
+	err       error
+}
+
+// Scan advances to the next record, returning false at end of input or on
+// error (check Err).
+func (s *Scanner) Scan() bool {
+	if s.err != nil || s.remaining == 0 {
+		return false
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(s.br, lenBuf[:2]); err != nil {
+		s.err = fmt.Errorf("seqdb: reading record id length: %w", err)
+		return false
+	}
+	idLen := int(binary.BigEndian.Uint16(lenBuf[:2]))
+	id := make([]byte, idLen)
+	if _, err := io.ReadFull(s.br, id); err != nil {
+		s.err = fmt.Errorf("seqdb: reading record id: %w", err)
+		return false
+	}
+	if _, err := io.ReadFull(s.br, lenBuf[:4]); err != nil {
+		s.err = fmt.Errorf("seqdb: reading record length: %w", err)
+		return false
+	}
+	seqLen := int(binary.BigEndian.Uint32(lenBuf[:4]))
+	if seqLen > maxRecordLen {
+		s.err = fmt.Errorf("seqdb: record length %d exceeds limit %d (corrupt stream?)", seqLen, maxRecordLen)
+		return false
+	}
+	res := make([]byte, seqLen)
+	if _, err := io.ReadFull(s.br, res); err != nil {
+		s.err = fmt.Errorf("seqdb: reading residues: %w", err)
+		return false
+	}
+	s.cur = &seq.Sequence{ID: string(id), Type: s.molType, Residues: res}
+	s.remaining--
+	return true
+}
+
+// Seq returns the current record after a successful Scan.
+func (s *Scanner) Seq() *seq.Sequence { return s.cur }
+
+// Err returns the first error encountered while scanning.
+func (s *Scanner) Err() error { return s.err }
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

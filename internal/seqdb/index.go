@@ -1,0 +1,185 @@
+package seqdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"afsysbench/internal/seq"
+)
+
+// Random access. The database format is sequential (the MSA scan's access
+// pattern), but hit post-processing needs to re-fetch individual records —
+// realigning a reported target, rendering an alignment — without holding
+// the whole database in memory. An Index maps record ordinals and IDs to
+// byte offsets; a RandomReader serves records from any io.ReaderAt.
+
+// Index locates every record of one database file.
+type Index struct {
+	// Name is the indexed database's name.
+	Name string
+	// Offsets[i] is the byte offset of record i's header.
+	Offsets []int64
+	// Lengths[i] is record i's residue count.
+	Lengths []int32
+	ids     map[string]int
+	idList  []string
+}
+
+// NumRecords returns the indexed record count.
+func (ix *Index) NumRecords() int { return len(ix.Offsets) }
+
+// Lookup returns the ordinal of the record with the given ID.
+func (ix *Index) Lookup(id string) (int, bool) {
+	n, ok := ix.ids[id]
+	return n, ok
+}
+
+// ID returns record i's identifier.
+func (ix *Index) ID(i int) string { return ix.idList[i] }
+
+// BuildIndex scans an encoded database stream and produces its index.
+func BuildIndex(r io.Reader) (*Index, error) {
+	db, sc, err := openHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{Name: db.Name, ids: make(map[string]int)}
+	offset := int64(headerSize + len(db.Name))
+	for sc.Scan() {
+		rec := sc.Seq()
+		ix.Offsets = append(ix.Offsets, offset)
+		ix.Lengths = append(ix.Lengths, int32(rec.Len()))
+		ix.ids[rec.ID] = len(ix.idList)
+		ix.idList = append(ix.idList, rec.ID)
+		offset += recordOverhead + int64(len(rec.ID)) + int64(rec.Len())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// RandomReader serves individual records from a database image.
+type RandomReader struct {
+	ra      io.ReaderAt
+	ix      *Index
+	molType seq.MoleculeType
+}
+
+// NewRandomReader opens the database image held by ra using its index.
+// The molecule type comes from the header at offset 0.
+func NewRandomReader(ra io.ReaderAt, ix *Index) (*RandomReader, error) {
+	head := make([]byte, headerSize)
+	if _, err := ra.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("seqdb: reading header: %w", err)
+	}
+	if string(head[:4]) != magic {
+		return nil, fmt.Errorf("seqdb: bad magic %q", head[:4])
+	}
+	return &RandomReader{ra: ra, ix: ix, molType: seq.MoleculeType(head[6])}, nil
+}
+
+// Record fetches record i.
+func (rr *RandomReader) Record(i int) (*seq.Sequence, error) {
+	if i < 0 || i >= rr.ix.NumRecords() {
+		return nil, fmt.Errorf("seqdb: record %d out of range [0,%d)", i, rr.ix.NumRecords())
+	}
+	off := rr.ix.Offsets[i]
+	var lenBuf [2]byte
+	if _, err := rr.ra.ReadAt(lenBuf[:], off); err != nil {
+		return nil, fmt.Errorf("seqdb: record %d id length: %w", i, err)
+	}
+	idLen := int64(binary.BigEndian.Uint16(lenBuf[:]))
+	body := make([]byte, idLen+4+int64(rr.ix.Lengths[i]))
+	if _, err := rr.ra.ReadAt(body, off+2); err != nil {
+		return nil, fmt.Errorf("seqdb: record %d body: %w", i, err)
+	}
+	id := string(body[:idLen])
+	seqLen := binary.BigEndian.Uint32(body[idLen : idLen+4])
+	if int32(seqLen) != rr.ix.Lengths[i] {
+		return nil, fmt.Errorf("seqdb: record %d length mismatch: index %d, file %d", i, rr.ix.Lengths[i], seqLen)
+	}
+	res := make([]byte, seqLen)
+	copy(res, body[idLen+4:])
+	return &seq.Sequence{ID: id, Type: rr.molType, Residues: res}, nil
+}
+
+// RecordByID fetches the record with the given identifier.
+func (rr *RandomReader) RecordByID(id string) (*seq.Sequence, error) {
+	i, ok := rr.ix.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("seqdb: no record %q in index", id)
+	}
+	return rr.Record(i)
+}
+
+// Index sidecar serialization:
+//
+//	magic "AFIX" | uint16 version | uint16 nameLen | name | uint32 count |
+//	per record: int64 offset | int32 length | uint16 idLen | id
+const indexMagic = "AFIX"
+
+// WriteIndex serializes the index as a sidecar file.
+func (ix *Index) WriteIndex(w io.Writer) error {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, indexMagic...)
+	buf = binary.BigEndian.AppendUint16(buf, formatVersion)
+	if len(ix.Name) > 0xffff {
+		return fmt.Errorf("seqdb: index name too long")
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(ix.Name)))
+	buf = append(buf, ix.Name...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(ix.NumRecords()))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	for i := range ix.Offsets {
+		rec := make([]byte, 0, 16+len(ix.idList[i]))
+		rec = binary.BigEndian.AppendUint64(rec, uint64(ix.Offsets[i]))
+		rec = binary.BigEndian.AppendUint32(rec, uint32(ix.Lengths[i]))
+		rec = binary.BigEndian.AppendUint16(rec, uint16(len(ix.idList[i])))
+		rec = append(rec, ix.idList[i]...)
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadIndex deserializes a sidecar index.
+func ReadIndex(r io.Reader) (*Index, error) {
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("seqdb: reading index header: %w", err)
+	}
+	if string(head[:4]) != indexMagic {
+		return nil, fmt.Errorf("seqdb: bad index magic %q", head[:4])
+	}
+	if v := binary.BigEndian.Uint16(head[4:6]); v != formatVersion {
+		return nil, fmt.Errorf("seqdb: unsupported index version %d", v)
+	}
+	nameLen := int(binary.BigEndian.Uint16(head[6:8]))
+	nameBuf := make([]byte, nameLen+4)
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return nil, fmt.Errorf("seqdb: reading index name: %w", err)
+	}
+	ix := &Index{Name: string(nameBuf[:nameLen]), ids: make(map[string]int)}
+	count := int(binary.BigEndian.Uint32(nameBuf[nameLen:]))
+	for i := 0; i < count; i++ {
+		fixed := make([]byte, 14)
+		if _, err := io.ReadFull(r, fixed); err != nil {
+			return nil, fmt.Errorf("seqdb: reading index record %d: %w", i, err)
+		}
+		idLen := int(binary.BigEndian.Uint16(fixed[12:14]))
+		id := make([]byte, idLen)
+		if _, err := io.ReadFull(r, id); err != nil {
+			return nil, fmt.Errorf("seqdb: reading index id %d: %w", i, err)
+		}
+		ix.Offsets = append(ix.Offsets, int64(binary.BigEndian.Uint64(fixed[:8])))
+		ix.Lengths = append(ix.Lengths, int32(binary.BigEndian.Uint32(fixed[8:12])))
+		ix.ids[string(id)] = i
+		ix.idList = append(ix.idList, string(id))
+	}
+	return ix, nil
+}

@@ -1,0 +1,150 @@
+package seqdb
+
+import (
+	"bytes"
+	"testing"
+)
+
+func encoded(t *testing.T) (*DB, []byte) {
+	t.Helper()
+	db, err := Generate(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return db, buf.Bytes()
+}
+
+func TestBuildIndexCoversAllRecords(t *testing.T) {
+	db, img := encoded(t)
+	ix, err := BuildIndex(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Name != db.Name {
+		t.Errorf("index name %q", ix.Name)
+	}
+	if ix.NumRecords() != db.NumSeqs() {
+		t.Fatalf("index has %d records, want %d", ix.NumRecords(), db.NumSeqs())
+	}
+	for i, s := range db.Seqs {
+		if ix.ID(i) != s.ID {
+			t.Fatalf("record %d id %q, want %q", i, ix.ID(i), s.ID)
+		}
+		if int(ix.Lengths[i]) != s.Len() {
+			t.Fatalf("record %d length mismatch", i)
+		}
+		if n, ok := ix.Lookup(s.ID); !ok || n != i {
+			t.Fatalf("lookup %q = (%d,%v)", s.ID, n, ok)
+		}
+	}
+	if _, ok := ix.Lookup("missing"); ok {
+		t.Error("lookup of missing id succeeded")
+	}
+}
+
+func TestRandomReaderFetchesExactRecords(t *testing.T) {
+	db, img := encoded(t)
+	ix, err := BuildIndex(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRandomReader(bytes.NewReader(img), ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fetch records out of order.
+	for _, i := range []int{db.NumSeqs() - 1, 0, db.NumSeqs() / 2, 3} {
+		rec, err := rr.Record(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := db.Seqs[i]
+		if rec.ID != want.ID || !bytes.Equal(rec.Residues, want.Residues) || rec.Type != want.Type {
+			t.Fatalf("record %d mismatched", i)
+		}
+	}
+	byID, err := rr.RecordByID(db.Seqs[7].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(byID.Residues, db.Seqs[7].Residues) {
+		t.Error("RecordByID mismatched")
+	}
+}
+
+func TestRandomReaderErrors(t *testing.T) {
+	_, img := encoded(t)
+	ix, _ := BuildIndex(bytes.NewReader(img))
+	rr, _ := NewRandomReader(bytes.NewReader(img), ix)
+	if _, err := rr.Record(-1); err == nil {
+		t.Error("negative ordinal accepted")
+	}
+	if _, err := rr.Record(ix.NumRecords()); err == nil {
+		t.Error("out-of-range ordinal accepted")
+	}
+	if _, err := rr.RecordByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if _, err := NewRandomReader(bytes.NewReader([]byte("JUNKJUNKJUNKJUNKJUNKJUNK")), ix); err == nil {
+		t.Error("bad image accepted")
+	}
+	// Truncated image: record reads must fail cleanly.
+	trunc := img[:ix.Offsets[ix.NumRecords()-1]+1]
+	rr2, err := NewRandomReader(bytes.NewReader(trunc), ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr2.Record(ix.NumRecords() - 1); err == nil {
+		t.Error("truncated record read succeeded")
+	}
+}
+
+func TestIndexSidecarRoundTrip(t *testing.T) {
+	_, img := encoded(t)
+	ix, err := BuildIndex(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var side bytes.Buffer
+	if err := ix.WriteIndex(&side); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != ix.Name || got.NumRecords() != ix.NumRecords() {
+		t.Fatal("sidecar metadata mismatched")
+	}
+	for i := range ix.Offsets {
+		if got.Offsets[i] != ix.Offsets[i] || got.Lengths[i] != ix.Lengths[i] || got.ID(i) != ix.ID(i) {
+			t.Fatalf("sidecar record %d mismatched", i)
+		}
+	}
+	// The round-tripped index must still serve random reads.
+	rr, err := NewRandomReader(bytes.NewReader(img), got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr.Record(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadIndexRejectsCorrupt(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader([]byte("XXXX0000"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	_, img := encoded(t)
+	ix, _ := BuildIndex(bytes.NewReader(img))
+	var side bytes.Buffer
+	_ = ix.WriteIndex(&side)
+	trunc := side.Bytes()[:side.Len()/2]
+	if _, err := ReadIndex(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated sidecar accepted")
+	}
+}

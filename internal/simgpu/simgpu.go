@@ -1,0 +1,239 @@
+// Package simgpu models the GPU side of AlphaFold3 inference on the two
+// platforms: a roofline timing model per layer class (compute vs memory
+// bound, plus kernel-launch overhead dispatched by a single host thread —
+// the reason the paper's Figure 6 shows no benefit from multi-threading),
+// the device initialization / XLA compilation / finalization phases of
+// Figure 8, and the memory-footprint model that forces 6QNR into unified
+// memory on the 16 GB RTX 4080.
+package simgpu
+
+import (
+	"fmt"
+
+	"afsysbench/internal/diffusion"
+	"afsysbench/internal/pairformer"
+	"afsysbench/internal/platform"
+)
+
+// Model bundles the network configuration of one AF3 inference.
+type Model struct {
+	PF pairformer.Config
+	DF diffusion.Config
+	// Recycles is the trunk recycling count: the Pairformer stack re-runs
+	// this many times per prediction (AF3 default 10).
+	Recycles int
+}
+
+// DefaultModel returns AF3-scale configuration.
+func DefaultModel() Model {
+	return Model{
+		PF:       pairformer.DefaultConfig(),
+		DF:       diffusion.DefaultConfig(),
+		Recycles: 10,
+	}
+}
+
+// Validate checks the model.
+func (m Model) Validate() error {
+	if err := m.PF.Validate(); err != nil {
+		return err
+	}
+	if err := m.DF.Validate(); err != nil {
+		return err
+	}
+	if m.Recycles <= 0 {
+		return fmt.Errorf("simgpu: Recycles must be positive, got %d", m.Recycles)
+	}
+	return nil
+}
+
+// Memory footprint model: weights plus activation buffers that scale with
+// the pair representation. Calibrated against the paper's Section III-B
+// observations: 1YY9 (N=881) fits on the 16 GB RTX 4080, 6QNR (N=1395)
+// does not and needs unified memory.
+const (
+	weightBytes        = 2 << 30
+	actBytesPerPairElt = 16 * 128 * 4 // ~16 live f32 buffers of width 128
+)
+
+// MemoryFootprintBytes returns the device memory needed at n tokens.
+func (m Model) MemoryFootprintBytes(n int) int64 {
+	return weightBytes + int64(n)*int64(n)*actBytesPerPairElt
+}
+
+// Per-layer-class achieved efficiency: fraction of peak tensor throughput
+// and of peak memory bandwidth these kernel shapes sustain. AF3's shapes
+// are narrow (128-wide), so compute efficiency is low; the triangle and
+// global attention classes are additionally memory-bound (materialized
+// logits, poor locality — paper Sections II-C, V-C).
+type classEff struct{ compute, mem float64 }
+
+func effFor(module, layer string) classEff {
+	switch module + "/" + layer {
+	case "Pairformer/" + pairformer.TriangleAttention.String():
+		return classEff{0.12, 0.40}
+	case "Pairformer/" + pairformer.TriangleMult.String():
+		return classEff{0.13, 0.40}
+	case "Pairformer/" + pairformer.PairTransition.String():
+		return classEff{0.12, 0.45}
+	case "Pairformer/" + pairformer.SingleUpdate.String():
+		return classEff{0.05, 0.35}
+	case "Diffusion/" + diffusion.GlobalAttention.String():
+		// Tiny token counts leave the tensor cores almost idle, and the
+		// paper singles this layer out for poor locality (II-C).
+		return classEff{0.016, 0.25}
+	case "Diffusion/" + diffusion.LocalAttnEncoder.String(),
+		"Diffusion/" + diffusion.LocalAttnDecoder.String():
+		// Bound by the uncoalesced window gathers, not arithmetic.
+		return classEff{0.09, 0.31}
+	default:
+		return classEff{0.08, 0.40}
+	}
+}
+
+// baseLaunchSeconds is the per-kernel dispatch cost when driven by a 5.6
+// GHz host core; slower hosts dispatch proportionally slower (single host
+// thread, paper Section V-B3a).
+const baseLaunchSeconds = 6e-6
+
+// LayerTime is one row of the Figure 9 / Table VI breakdown.
+type LayerTime struct {
+	Module  string
+	Layer   string
+	Seconds float64
+	Flops   float64
+	Bytes   float64
+	Kernels float64
+}
+
+// LayerTimes prices every layer class of a full prediction at n tokens on
+// the machine. spill applies the unified-memory penalty (6QNR on the 4080).
+func (m Model) LayerTimes(mach platform.Machine, n int, spill bool) []LayerTime {
+	gpu := mach.GPU
+	launch := baseLaunchSeconds * (5.6 / mach.CPU.MaxClockGHz)
+	spillFactor := 1.0
+	if spill {
+		spillFactor = gpu.UnifiedMemPenalty
+	}
+	var out []LayerTime
+	price := func(module, layer string, flops, bytes, kernels float64) {
+		eff := effFor(module, layer)
+		compute := flops / (gpu.TensorTFlops * 1e12 * eff.compute)
+		memory := bytes / (gpu.MemBandwidthGBs * 1e9 * eff.mem)
+		secs := compute
+		if memory > secs {
+			secs = memory
+		}
+		secs = secs*spillFactor + kernels*launch
+		out = append(out, LayerTime{
+			Module: module, Layer: layer,
+			Seconds: secs, Flops: flops, Bytes: bytes, Kernels: kernels,
+		})
+	}
+	rec := float64(m.Recycles)
+	for _, k := range pairformer.Kinds() {
+		price("Pairformer", k.String(),
+			m.PF.LayerFlops(k, n)*rec,
+			m.PF.LayerBytes(k, n)*rec,
+			float64(m.PF.Kernels(k)*m.PF.Blocks)*rec)
+	}
+	for _, k := range diffusion.Kinds() {
+		price("Diffusion", k.String(),
+			m.DF.LayerFlops(k, n),
+			m.DF.LayerBytes(k, n),
+			float64(m.DF.Kernels(k)*m.DF.Evaluations()))
+	}
+	return out
+}
+
+// ModuleSeconds sums layer times per module name.
+func ModuleSeconds(layers []LayerTime) map[string]float64 {
+	out := make(map[string]float64)
+	for _, l := range layers {
+		out[l.Module] += l.Seconds
+	}
+	return out
+}
+
+// PhaseBreakdown is the Figure 8 decomposition of one inference run.
+type PhaseBreakdown struct {
+	InitSeconds     float64 // GPU/device/runtime initialization
+	CompileSeconds  float64 // XLA compilation (host)
+	ComputeSeconds  float64 // GPU kernels
+	FinalizeSeconds float64 // host-side output assembly, teardown
+	Spilled         bool    // unified-memory fallback engaged
+	FootprintBytes  int64
+}
+
+// Total returns the end-to-end inference seconds.
+func (p PhaseBreakdown) Total() float64 {
+	return p.InitSeconds + p.CompileSeconds + p.ComputeSeconds + p.FinalizeSeconds
+}
+
+// OverheadFraction returns the non-compute share of the run — the quantity
+// the paper reports exceeding 75% for small inputs on the server.
+func (p PhaseBreakdown) OverheadFraction() float64 {
+	t := p.Total()
+	if t == 0 {
+		return 0
+	}
+	return (t - p.ComputeSeconds) / t
+}
+
+// InferenceOptions tune one run.
+type InferenceOptions struct {
+	// Threads is the CPU thread setting; inference gains nothing from it
+	// (single dispatch thread) and loses slightly to host contention.
+	Threads int
+	// WarmStart skips device init and XLA compilation (persistent model
+	// state, the Section VI optimization).
+	WarmStart bool
+	// CompileSeconds is the host compile time computed by the CPU model
+	// for this platform (see xla.Compile + simhw). Zero uses a default
+	// derived from the host clock.
+	CompileSeconds float64
+}
+
+// hostContention is the per-extra-thread slowdown of dispatch-sensitive
+// phases (Figure 6's mild degradation under multi-threading).
+const hostContention = 0.015
+
+// Inference prices a full run of the model at n tokens on the machine.
+func Inference(mach platform.Machine, m Model, n int, opts InferenceOptions) (PhaseBreakdown, error) {
+	if err := m.Validate(); err != nil {
+		return PhaseBreakdown{}, err
+	}
+	if n <= 0 {
+		return PhaseBreakdown{}, fmt.Errorf("simgpu: sequence length must be positive, got %d", n)
+	}
+	threads := opts.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	var p PhaseBreakdown
+	p.FootprintBytes = m.MemoryFootprintBytes(n)
+	p.Spilled = p.FootprintBytes > mach.GPU.MemBytes
+
+	contention := 1 + hostContention*float64(threads-1)
+
+	if !opts.WarmStart {
+		// Device init: driver/context plus weight upload over PCIe 4.0
+		// (~20 GB/s effective) plus allocator pool warm-up.
+		p.InitSeconds = mach.GPU.InitSeconds + float64(weightBytes)/20e9
+		p.CompileSeconds = opts.CompileSeconds
+		if p.CompileSeconds == 0 {
+			// Fallback: compile rate tracks single-core host speed.
+			p.CompileSeconds = 10 * (5.6 * 3.2) / (mach.CPU.MaxClockGHz * mach.CPU.BaseIPC)
+		}
+		p.InitSeconds *= contention
+		p.CompileSeconds *= contention
+	}
+
+	for _, l := range m.LayerTimes(mach, n, p.Spilled) {
+		p.ComputeSeconds += l.Seconds
+	}
+	p.ComputeSeconds *= contention
+
+	p.FinalizeSeconds = 0.3*mach.GPU.InitSeconds + 2.0
+	return p, nil
+}

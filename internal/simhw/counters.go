@@ -1,0 +1,93 @@
+// Package simhw models the two CPUs of Table I closely enough to replay a
+// measured workload (metering events from the real Go kernels) and produce
+// the perf-style counters of the paper's Tables III and IV: IPC, per-level
+// cache miss rates, dTLB misses, branch misses, and — through the cycle
+// model — simulated wall-clock seconds per thread count.
+//
+// The model is analytical, not trace-driven: each function's accesses are
+// characterized by a reused hot working set (partially shared between
+// threads), touched-once streaming traffic, and an access pattern. Capacity
+// relations between those footprints and the cache hierarchy produce the
+// level-by-level miss flows; a contention model for the shared LLC and DRAM
+// bandwidth produces the thread-scaling behavior. A small trace-driven
+// set-associative simulator (trace.go) validates the analytical capacity
+// model in tests and serves as the accuracy arm of the cache-model ablation.
+package simhw
+
+// Counters are perf-style aggregate hardware counters.
+type Counters struct {
+	Instructions uint64
+	Cycles       uint64
+	Loads        uint64 // L1D references
+	L1Misses     uint64
+	L2Refs       uint64
+	L2Misses     uint64
+	LLCRefs      uint64
+	LLCMisses    uint64
+	TLBRefs      uint64
+	TLBMisses    uint64
+	Branches     uint64
+	BranchMisses uint64
+	PageFaults   uint64
+	DRAMBytes    uint64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(o Counters) {
+	c.Instructions += o.Instructions
+	c.Cycles += o.Cycles
+	c.Loads += o.Loads
+	c.L1Misses += o.L1Misses
+	c.L2Refs += o.L2Refs
+	c.L2Misses += o.L2Misses
+	c.LLCRefs += o.LLCRefs
+	c.LLCMisses += o.LLCMisses
+	c.TLBRefs += o.TLBRefs
+	c.TLBMisses += o.TLBMisses
+	c.Branches += o.Branches
+	c.BranchMisses += o.BranchMisses
+	c.PageFaults += o.PageFaults
+	c.DRAMBytes += o.DRAMBytes
+}
+
+func pct(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// IPC returns instructions per cycle.
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// L1MissPct returns L1D misses per L1D reference, in percent (Table III
+// "L1 Miss (%)").
+func (c Counters) L1MissPct() float64 { return pct(c.L1Misses, c.Loads) }
+
+// LLCMissPct returns LLC misses per LLC reference, in percent (Table III
+// "LLC Miss (%)").
+func (c Counters) LLCMissPct() float64 { return pct(c.LLCMisses, c.LLCRefs) }
+
+// DTLBMissPct returns dTLB misses per load, in percent (Table III
+// "dTLB Miss (%)"). Note the two vendors' counters measure different TLB
+// levels; the machine parameterization (platform.CPU.TLBReachBytes)
+// reflects that.
+func (c Counters) DTLBMissPct() float64 { return pct(c.TLBMisses, c.TLBRefs) }
+
+// BranchMissPct returns mispredictions per branch, in percent.
+func (c Counters) BranchMissPct() float64 { return pct(c.BranchMisses, c.Branches) }
+
+// CacheMissMPKI returns all-level cache misses (LLC misses, i.e. accesses
+// leaving the cache hierarchy) per kilo-instruction — the Table III
+// "Cache Miss" row.
+func (c Counters) CacheMissMPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(c.LLCMisses) / float64(c.Instructions)
+}

@@ -1,0 +1,181 @@
+package simhw
+
+import (
+	"afsysbench/internal/metering"
+	"afsysbench/internal/rng"
+)
+
+// Trace-driven validation path. The analytical model in model.go trades
+// accuracy for speed; this file provides a real set-associative, LRU,
+// multi-level cache simulator plus a synthetic address-stream generator so
+// tests (and the cache-model ablation bench) can check the analytical
+// capacity behavior against a concrete simulation.
+
+// Cache is one set-associative level with LRU replacement.
+type Cache struct {
+	sets       int
+	ways       int
+	lineShift  uint
+	tags       []uint64 // sets*ways entries; 0 means empty
+	stamps     []uint64
+	tick       uint64
+	Hits, Miss uint64
+}
+
+// NewCache builds a cache of the given total size, associativity, and line
+// size (which must all be powers-of-two compatible; size must be divisible
+// by ways*lineSize).
+func NewCache(sizeBytes, ways, lineSize int) *Cache {
+	sets := sizeBytes / (ways * lineSize)
+	if sets < 1 {
+		sets = 1
+	}
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	return &Cache{
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		tags:      make([]uint64, sets*ways),
+		stamps:    make([]uint64, sets*ways),
+	}
+}
+
+// Access touches addr, returning true on hit and updating LRU state.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	line := addr >> c.lineShift
+	set := int(line % uint64(c.sets))
+	tag := line + 1 // +1 so that tag 0 means "empty"
+	base := set * c.ways
+	victim := base
+	oldest := ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.stamps[i] = c.tick
+			c.Hits++
+			return true
+		}
+		if c.stamps[i] < oldest {
+			oldest = c.stamps[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = tag
+	c.stamps[victim] = c.tick
+	c.Miss++
+	return false
+}
+
+// Reset clears the hit/miss counters while keeping cache contents — used
+// to measure steady-state rates after a warmup pass.
+func (c *Cache) Reset() {
+	c.Hits, c.Miss = 0, 0
+}
+
+// MissRate returns misses per access.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Miss
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Miss) / float64(total)
+}
+
+// Hierarchy chains L1 -> L2 -> LLC: an access that misses one level
+// propagates to the next.
+type Hierarchy struct {
+	L1, L2, LLC *Cache
+}
+
+// NewHierarchy builds a three-level hierarchy with typical associativities.
+func NewHierarchy(l1, l2, llc int) *Hierarchy {
+	return &Hierarchy{
+		L1:  NewCache(l1, 8, cacheLine),
+		L2:  NewCache(l2, 8, cacheLine),
+		LLC: NewCache(llc, 16, cacheLine),
+	}
+}
+
+// Reset clears all levels' counters (contents persist).
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.LLC.Reset()
+}
+
+// Access walks the hierarchy for addr. It returns the level that hit:
+// 1, 2, 3, or 4 for memory.
+func (h *Hierarchy) Access(addr uint64) int {
+	if h.L1.Access(addr) {
+		return 1
+	}
+	if h.L2.Access(addr) {
+		return 2
+	}
+	if h.LLC.Access(addr) {
+		return 3
+	}
+	return 4
+}
+
+// SyntheticTrace generates an address stream with the statistical structure
+// of a FuncWork: n references cycling over a hot region of hotBytes with
+// the given pattern, interleaved with touched-once streaming.
+type SyntheticTrace struct {
+	rng       *rng.Source
+	hotBytes  uint64
+	pattern   metering.Pattern
+	streamPos uint64
+	seqPos    uint64
+	stride    uint64
+}
+
+// NewSyntheticTrace builds a generator. Streaming addresses live in a
+// disjoint region above 1<<40.
+func NewSyntheticTrace(seed uint64, hotBytes uint64, pattern metering.Pattern) *SyntheticTrace {
+	return &SyntheticTrace{
+		rng:      rng.New(seed),
+		hotBytes: hotBytes,
+		pattern:  pattern,
+		stride:   192, // three lines, a typical DP row stride
+	}
+}
+
+// NextHot returns the next hot-region address.
+func (t *SyntheticTrace) NextHot() uint64 {
+	if t.hotBytes == 0 {
+		return 0
+	}
+	switch t.pattern {
+	case metering.Sequential:
+		t.seqPos = (t.seqPos + avgAccessBytes) % t.hotBytes
+		return t.seqPos
+	case metering.Strided:
+		t.seqPos = (t.seqPos + t.stride) % t.hotBytes
+		return t.seqPos
+	default:
+		return uint64(t.rng.Intn(int(t.hotBytes)))
+	}
+}
+
+// NextStream returns the next touched-once streaming address.
+func (t *SyntheticTrace) NextStream() uint64 {
+	t.streamPos += cacheLine
+	return 1<<40 + t.streamPos
+}
+
+// TraceMissRates replays n hot references over a hot set of hotBytes with
+// the given pattern through a concrete hierarchy and returns the per-level
+// miss fractions (relative to references arriving at each level). It is the
+// validation counterpart of the analytical capacityMissFrac chain.
+func TraceMissRates(seed uint64, hotBytes uint64, pattern metering.Pattern, n int, l1, l2, llc int) (l1Miss, l2Miss, llcMiss float64) {
+	h := NewHierarchy(l1, l2, llc)
+	tr := NewSyntheticTrace(seed, hotBytes, pattern)
+	for i := 0; i < n; i++ {
+		h.Access(tr.NextHot())
+	}
+	return h.L1.MissRate(), h.L2.MissRate(), h.LLC.MissRate()
+}

@@ -1,0 +1,81 @@
+package simhw
+
+import (
+	"testing"
+
+	"afsysbench/internal/metering"
+)
+
+func TestValidateFuncWorkErrors(t *testing.T) {
+	if _, err := ValidateFuncWork(0, metering.Random, 100, 1<<15, 1<<20, 1<<25, 1); err == nil {
+		t.Error("zero hot set accepted")
+	}
+	if _, err := ValidateFuncWork(1<<20, metering.Random, 0, 1<<15, 1<<20, 1<<25, 1); err == nil {
+		t.Error("zero refs accepted")
+	}
+}
+
+func TestValidateCapacityRegimesAgreeAtLLC(t *testing.T) {
+	// The claim the analytical model rests on: whether a hot set fits a
+	// level decides its miss behavior. The trace simulator must agree on
+	// that boundary for both boundary regimes.
+	l1, l2, llc := 32<<10, 1<<20, 8<<20
+
+	// Fits in LLC: both models must see (almost) no LLC misses.
+	cmp, err := ValidateFuncWork(4<<20, metering.Random, 300_000, l1, l2, llc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.AnalyticLLC != 0 {
+		t.Errorf("analytic LLC miss %v for fitting set, want 0", cmp.AnalyticLLC)
+	}
+	if cmp.TraceLLC > 0.25 {
+		t.Errorf("trace per-ref LLC miss %v for fitting set, want ~0 (cold only)", cmp.TraceLLC)
+	}
+
+	// Exceeds LLC: both models must see substantial misses.
+	cmp, err = ValidateFuncWork(32<<20, metering.Random, 300_000, l1, l2, llc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.AnalyticLLC == 0 {
+		t.Error("analytic LLC miss 0 for oversized set")
+	}
+	if cmp.TraceLLC < 0.2 {
+		t.Errorf("trace per-ref LLC miss %v for oversized set, want substantial", cmp.TraceLLC)
+	}
+	if cmp.MaxDivergence() > 1 {
+		t.Error("divergence metric out of range")
+	}
+}
+
+func TestValidateRegimesSummary(t *testing.T) {
+	worst, err := ValidateRegimes(metering.Random, 32<<10, 1<<20, 8<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analytical capacity model must track the concrete simulator's
+	// LLC behavior within a coarse band across regimes.
+	if worst > 0.25 {
+		t.Errorf("worst LLC divergence = %.2f, models disagree badly", worst)
+	}
+}
+
+func TestValidateSequentialPattern(t *testing.T) {
+	cmp, err := ValidateFuncWork(4<<20, metering.Sequential, 200_000, 32<<10, 1<<20, 8<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential hot sweeps are prefetch-friendly: the analytic L1 miss
+	// fraction must be far below the random-pattern one.
+	rnd, err := ValidateFuncWork(4<<20, metering.Random, 200_000, 32<<10, 1<<20, 8<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.AnalyticL1 >= rnd.AnalyticL1 {
+		t.Error("sequential analytic L1 miss not below random")
+	}
+	if cmp.TraceL1 >= rnd.TraceL1 {
+		t.Error("sequential trace L1 miss not below random")
+	}
+}

@@ -1,0 +1,273 @@
+// Package tensor is a minimal dense float32 tensor library backing the
+// Pairformer and Diffusion module implementations: shape algebra, matmul,
+// softmax, layer normalization and elementwise kernels. The inference
+// modules run this math for real at reduced dimensions, and scale measured
+// structure to paper-scale sizes with analytical FLOP formulas.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor of the given shape. Panics on non-positive
+// dimensions — shapes are programmer input, not user input.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromData wraps data with a shape; the length must match.
+func FromData(data []float32, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("tensor: data length %d does not match shape %v", len(data), shape)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}, nil
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dims returns the number of axes.
+func (t *Tensor) Dims() int { return len(t.Shape) }
+
+// At returns the element at the given indices (2D/3D fast paths).
+func (t *Tensor) At(idx ...int) float32 { return t.Data[t.offset(idx)] }
+
+// Set stores v at the given indices.
+func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: %d indices for %d-d tensor", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for axis %d (size %d)", x, i, t.Shape[i]))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	cp := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	copy(cp.Data, t.Data)
+	return cp
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatMul computes a (m×k) · b (k×n) into a new (m×n) tensor.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return nil, fmt.Errorf("tensor: MatMul needs 2-d operands, got %v x %v", a.Shape, b.Shape)
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMul inner dims %d vs %d", k, k2)
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulFlops returns the FLOP count of a (m×k)·(k×n) product.
+func MatMulFlops(m, k, n int) float64 { return 2 * float64(m) * float64(k) * float64(n) }
+
+// Add returns a+b elementwise.
+func Add(a, b *Tensor) (*Tensor, error) {
+	if !SameShape(a, b) {
+		return nil, fmt.Errorf("tensor: Add shape mismatch %v vs %v", a.Shape, b.Shape)
+	}
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out, nil
+}
+
+// Mul returns a⊙b elementwise (Hadamard product).
+func Mul(a, b *Tensor) (*Tensor, error) {
+	if !SameShape(a, b) {
+		return nil, fmt.Errorf("tensor: Mul shape mismatch %v vs %v", a.Shape, b.Shape)
+	}
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] *= v
+	}
+	return out, nil
+}
+
+// Scale multiplies in place by s and returns t.
+func (t *Tensor) Scale(s float32) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+	return t
+}
+
+// Sigmoid applies the logistic function in place and returns t.
+func (t *Tensor) Sigmoid() *Tensor {
+	for i, v := range t.Data {
+		t.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return t
+}
+
+// ReLU applies max(0,x) in place and returns t.
+func (t *Tensor) ReLU() *Tensor {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+	return t
+}
+
+// SoftmaxRows applies a numerically stable softmax along the last axis of a
+// 2-d tensor, in place.
+func (t *Tensor) SoftmaxRows() error {
+	if t.Dims() != 2 {
+		return fmt.Errorf("tensor: SoftmaxRows needs 2-d, got %v", t.Shape)
+	}
+	n := t.Shape[1]
+	for i := 0; i < t.Shape[0]; i++ {
+		row := t.Data[i*n : (i+1)*n]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			row[j] = float32(e)
+			sum += e
+		}
+		if sum == 0 {
+			continue
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return nil
+}
+
+// LayerNormRows normalizes each row of a 2-d tensor to zero mean and unit
+// variance (eps-stabilized), in place.
+func (t *Tensor) LayerNormRows() error {
+	if t.Dims() != 2 {
+		return fmt.Errorf("tensor: LayerNormRows needs 2-d, got %v", t.Shape)
+	}
+	const eps = 1e-5
+	n := t.Shape[1]
+	for i := 0; i < t.Shape[0]; i++ {
+		row := t.Data[i*n : (i+1)*n]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(n)
+		var variance float64
+		for _, v := range row {
+			d := float64(v) - mean
+			variance += d * d
+		}
+		variance /= float64(n)
+		inv := 1 / math.Sqrt(variance+eps)
+		for j, v := range row {
+			row[j] = float32((float64(v) - mean) * inv)
+		}
+	}
+	return nil
+}
+
+// Transpose2D returns the transpose of a 2-d tensor.
+func Transpose2D(a *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 {
+		return nil, fmt.Errorf("tensor: Transpose2D needs 2-d, got %v", a.Shape)
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out, nil
+}
+
+// Row returns a view of row i of a 2-d tensor (shared storage).
+func (t *Tensor) Row(i int) []float32 {
+	n := t.Shape[len(t.Shape)-1]
+	return t.Data[i*n : (i+1)*n]
+}
+
+// Fill sets every element to v and returns t.
+func (t *Tensor) Fill(v float32) *Tensor {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// MaxAbs returns the maximum absolute element value (0 for empty).
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

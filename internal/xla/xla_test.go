@@ -1,0 +1,134 @@
+package xla
+
+import (
+	"testing"
+
+	"afsysbench/internal/diffusion"
+	"afsysbench/internal/metering"
+	"afsysbench/internal/pairformer"
+)
+
+func smallGraph() *Graph {
+	g := &Graph{}
+	a := g.Add(OpMatMul, []int{4, 4})
+	b := g.Add(OpElementwise, []int{4, 4}, a)
+	c := g.Add(OpElementwise, []int{4, 4}, b)
+	g.Add(OpSoftmax, []int{4, 4}, c)
+	return g
+}
+
+func TestByteSizeOf(t *testing.T) {
+	if ByteSizeOf([]int{2, 3}) != 24 {
+		t.Errorf("ByteSizeOf([2,3]) = %d, want 24", ByteSizeOf([]int{2, 3}))
+	}
+	if ByteSizeOf(nil) != 4 {
+		t.Errorf("scalar size = %d, want 4", ByteSizeOf(nil))
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	kinds := []OpKind{OpMatMul, OpSoftmax, OpLayerNorm, OpElementwise, OpTranspose, OpReduce}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Error("empty op kind name")
+		}
+	}
+}
+
+func TestCompileEmptyGraphErrors(t *testing.T) {
+	if _, err := Compile(&Graph{}, nil); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestFusionChains(t *testing.T) {
+	g := smallGraph()
+	st, err := Compile(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 4 {
+		t.Errorf("ops = %d", st.Ops)
+	}
+	// Two elementwise ops fuse into the matmul.
+	if st.FusedOps != 2 {
+		t.Errorf("fused = %d, want 2", st.FusedOps)
+	}
+	if st.FusionGroups != 1 {
+		t.Errorf("groups = %d, want 1", st.FusionGroups)
+	}
+	// Both fused ops must point at the matmul, not at each other.
+	if g.Ops[2].FusedInto != 0 {
+		t.Errorf("chained fusion leader = %d, want 0", g.Ops[2].FusedInto)
+	}
+	if st.Buffers != 2 { // matmul + softmax
+		t.Errorf("buffers = %d, want 2", st.Buffers)
+	}
+}
+
+func TestCompileEmitsTableVSymbols(t *testing.T) {
+	var acc metering.Accumulator
+	if _, err := Compile(smallGraph(), &acc); err != nil {
+		t.Fatal(err)
+	}
+	by := acc.ByFunc()
+	for _, fn := range []string{"xla::ShapeUtil::ByteSizeOf", "std::vector::_M_fill_insert", "xla_compile_passes"} {
+		if by[fn].Instructions == 0 {
+			t.Errorf("missing compile event %s", fn)
+		}
+	}
+	if by["std::vector::_M_fill_insert"].Allocated == 0 {
+		t.Error("buffer assignment must report allocation (page-fault source)")
+	}
+	if by["xla::ShapeUtil::ByteSizeOf"].Pattern != metering.Random {
+		t.Error("shape walks must be random-access")
+	}
+}
+
+func TestInferenceGraphScale(t *testing.T) {
+	pf := pairformer.DefaultConfig()
+	df := diffusion.DefaultConfig()
+	g := BuildInferenceGraph(pf, df, 484, 10)
+	if len(g.Ops) < 10000 {
+		t.Errorf("AF3-scale graph has only %d ops", len(g.Ops))
+	}
+	st, err := Compile(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live-range peak must be far below the naive sum and above zero.
+	if st.PeakBytes <= 0 {
+		t.Error("peak bytes not positive")
+	}
+	if st.PeakBytes > 8<<30 {
+		t.Errorf("peak bytes %d implausibly large — liveness pass broken?", st.PeakBytes)
+	}
+	// Compile-cost contrast of Figure 8: desktop-rate ~10 s.
+	desktopSeconds := float64(st.Instructions) / (5.6 * 3.2 * 1e9)
+	if desktopSeconds < 4 || desktopSeconds > 25 {
+		t.Errorf("desktop-rate compile = %.1fs, want ~10s", desktopSeconds)
+	}
+}
+
+func TestGraphGrowsWithRecycles(t *testing.T) {
+	pf := pairformer.DefaultConfig()
+	pf.Blocks = 2
+	df := diffusion.DefaultConfig()
+	df.GlobalLayers, df.LocalEncLayers, df.LocalDecLayers = 2, 1, 1
+	g1 := BuildInferenceGraph(pf, df, 32, 1)
+	g3 := BuildInferenceGraph(pf, df, 32, 3)
+	if len(g3.Ops) <= len(g1.Ops) {
+		t.Error("recycles must grow the graph")
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	pf := pairformer.DefaultConfig()
+	pf.Blocks = 3
+	df := diffusion.DefaultConfig()
+	a, _ := Compile(BuildInferenceGraph(pf, df, 64, 2), nil)
+	b, _ := Compile(BuildInferenceGraph(pf, df, 64, 2), nil)
+	if a != b {
+		t.Errorf("compile stats differ across identical builds:\n%+v\n%+v", a, b)
+	}
+}
