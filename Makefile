@@ -1,0 +1,35 @@
+# Developer workflow for afsysbench. `make check` is the PR gate: format,
+# vet, full tests, and the race detector over the packages that shard work
+# across the parallel engine.
+
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the concurrent hot path: the parallel engine itself plus the
+# three packages whose kernels shard over it.
+race:
+	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion
+
+check: fmt vet test race
+
+# Kernel microbenchmarks with allocation tracking (serial vs parallel).
+bench:
+	$(GO) test -run xxx -bench 'MatMul|TriangleAttention|BlockApply|DiffusionDenoise' -benchmem ./internal/tensor ./internal/pairformer ./internal/diffusion

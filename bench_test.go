@@ -394,7 +394,7 @@ func BenchmarkKernelPairformerBlock(b *testing.B) {
 	s := pairformer.RandomState(cfg, 48, src.Split(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := blk.Apply(s); err != nil {
+		if err := blk.Apply(s, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -411,13 +411,13 @@ func BenchmarkKernelDiffusionStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	coords, err := d.Sample(32, src.Split(1))
+	coords, err := d.Sample(32, src.Split(1), nil)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := d.DenoiseStep(coords, 0.5); err != nil {
+		if err := d.DenoiseStep(coords, 0.5, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

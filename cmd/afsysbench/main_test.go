@@ -33,6 +33,30 @@ func TestRunFig2WithCSV(t *testing.T) {
 	}
 }
 
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-exp", "fig2", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestRunBadProfilePath(t *testing.T) {
+	if err := run([]string{"-exp", "fig2", "-cpuprofile", "/nonexistent-dir/cpu.pprof"}); err == nil {
+		t.Error("unwritable cpuprofile path accepted")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "fig99"}); err == nil {
 		t.Error("unknown experiment accepted")

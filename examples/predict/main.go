@@ -16,6 +16,7 @@ import (
 	"afsysbench/internal/inputs"
 	"afsysbench/internal/msa"
 	"afsysbench/internal/pairformer"
+	"afsysbench/internal/parallel"
 	"afsysbench/internal/rng"
 	"afsysbench/internal/seq"
 	"afsysbench/internal/structout"
@@ -42,13 +43,20 @@ func main() {
 	n := in.TotalResidues()
 	fmt.Printf("input %s: %d chains, %d residues\n", in.Name, in.ChainCount(), n)
 
+	// One Threads knob governs both parallel stages: the MSA scan shards
+	// databases across this many workers, and the compute kernels below run
+	// on a pool of the same size. Sharding is deterministic, so the result
+	// is bitwise identical at any worker count.
+	const threads = 4
+	pool := parallel.ForWorkers(threads)
+
 	// 1. MSA phase: real profile-HMM searches against small synthetic
 	// databases with planted homologs.
 	dbs, err := msa.BuildDBSet([]*inputs.Input{in}, msa.DBConfig{Seed: 5, SeqsPerDB: 60, HomologsPerQuery: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	msaRes, err := msa.Run(in, msa.Options{Threads: 4, DBs: dbs})
+	msaRes, err := msa.Run(in, msa.Options{Threads: threads, DBs: dbs})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +75,7 @@ func main() {
 	}
 	src := rng.New(7)
 	state := pairformer.RandomState(cfg, n, src.Split(1))
-	if err := pairformer.Stack(cfg, state, src.Split(2)); err != nil {
+	if err := pairformer.Stack(cfg, state, src.Split(2), pool); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Pairformer: %d blocks over %d tokens (pair tensor %d elements)\n",
@@ -84,7 +92,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	coords, conf, err := den.SampleWithConfidence(n, src.Split(4))
+	coords, conf, err := den.SampleWithConfidence(n, src.Split(4), pool)
 	if err != nil {
 		log.Fatal(err)
 	}

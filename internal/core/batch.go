@@ -17,7 +17,8 @@ import (
 
 // BatchOptions configure a batch run.
 type BatchOptions struct {
-	// Threads is the MSA worker count per request.
+	// Threads is the per-request worker count, covering both the MSA scan
+	// shards and the compute-engine pool (see PipelineOptions.Threads).
 	Threads int
 	// Pipelined overlaps MSA(i+1) with inference(i) (ParaFold-style
 	// two-stage pipeline). Sequential otherwise.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"afsysbench/internal/parallel"
 	"afsysbench/internal/rng"
 	"afsysbench/internal/tensor"
 )
@@ -247,100 +248,121 @@ func NewDenoiser(cfg Config, src *rng.Source) (*Denoiser, error) {
 
 // localAttention applies windowed self-attention over atom features
 // (A×AtomDim): each atom attends to the AtomWindow atoms centered on it.
-func (d *Denoiser) localAttention(feat *tensor.Tensor, wq, wk, wv, wout *tensor.Tensor) error {
+// Atoms shard over the pool; every atom's window softmax stays inside one
+// shard, so results match the serial path bitwise.
+func (d *Denoiser) localAttention(feat *tensor.Tensor, wq, wk, wv, wout *tensor.Tensor, ws *workspace, p *parallel.Pool) error {
 	a := feat.Shape[0]
 	da := d.cfg.AtomDim
-	q, _ := tensor.MatMul(feat, wq)
-	k, _ := tensor.MatMul(feat, wk)
-	v, _ := tensor.MatMul(feat, wv)
-	upd := tensor.New(a, da)
-	half := d.cfg.AtomWindow / 2
-	scale := float32(1 / math.Sqrt(float64(da)))
-	logits := make([]float32, d.cfg.AtomWindow+1)
-	for i := 0; i < a; i++ {
-		lo, hi := i-half, i+half
-		if lo < 0 {
-			lo = 0
-		}
-		if hi >= a {
-			hi = a - 1
-		}
-		qi := q.Row(i)
-		var maxv float32 = -math.MaxFloat32
-		for j := lo; j <= hi; j++ {
-			kr := k.Row(j)
-			var dot float32
-			for c := 0; c < da; c++ {
-				dot += qi[c] * kr[c]
-			}
-			dot *= scale
-			logits[j-lo] = dot
-			if dot > maxv {
-				maxv = dot
-			}
-		}
-		var sum float64
-		for j := lo; j <= hi; j++ {
-			e := math.Exp(float64(logits[j-lo] - maxv))
-			logits[j-lo] = float32(e)
-			sum += e
-		}
-		inv := float32(1 / sum)
-		dst := upd.Row(i)
-		for j := lo; j <= hi; j++ {
-			w := logits[j-lo] * inv
-			vr := v.Row(j)
-			for c := 0; c < da; c++ {
-				dst[c] += w * vr[c]
-			}
-		}
-	}
-	proj, err := tensor.MatMul(upd, wout)
-	if err != nil {
+	if err := tensor.MatMulInto(ws.aq, feat, wq, p); err != nil {
 		return err
 	}
-	for i := range feat.Data {
-		feat.Data[i] += proj.Data[i]
+	if err := tensor.MatMulInto(ws.ak, feat, wk, p); err != nil {
+		return err
 	}
-	return feat.LayerNormRows()
+	if err := tensor.MatMulInto(ws.av, feat, wv, p); err != nil {
+		return err
+	}
+	q, k, v, upd := ws.aq, ws.ak, ws.av, ws.actx
+	half := d.cfg.AtomWindow / 2
+	scale := float32(1 / math.Sqrt(float64(da)))
+	p.Run(a, func(shard, alo, ahi int) {
+		logits := ws.winLogits[shard] // exclusive to this shard
+		for i := alo; i < ahi; i++ {
+			lo, hi := i-half, i+half
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= a {
+				hi = a - 1
+			}
+			qi := q.Row(i)
+			var maxv float32 = -math.MaxFloat32
+			for j := lo; j <= hi; j++ {
+				kr := k.Row(j)
+				var dot float32
+				for c := 0; c < da; c++ {
+					dot += qi[c] * kr[c]
+				}
+				dot *= scale
+				logits[j-lo] = dot
+				if dot > maxv {
+					maxv = dot
+				}
+			}
+			var sum float64
+			for j := lo; j <= hi; j++ {
+				e := math.Exp(float64(logits[j-lo] - maxv))
+				logits[j-lo] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			dst := upd.Row(i)
+			for c := range dst {
+				dst[c] = 0
+			}
+			for j := lo; j <= hi; j++ {
+				w := logits[j-lo] * inv
+				vr := v.Row(j)
+				for c := 0; c < da; c++ {
+					dst[c] += w * vr[c]
+				}
+			}
+		}
+	})
+	// q is consumed; reuse its buffer for the output projection.
+	if err := tensor.MatMulInto(ws.aq, upd, wout, p); err != nil {
+		return err
+	}
+	if err := tensor.AddAssign(feat, ws.aq, p); err != nil {
+		return err
+	}
+	return feat.LayerNormRowsWith(p)
 }
 
 // globalAttention applies full self-attention over token features.
-func (d *Denoiser) globalAttention(tok *tensor.Tensor, wq, wk, wv, wout *tensor.Tensor) error {
-	q, _ := tensor.MatMul(tok, wq)
-	k, _ := tensor.MatMul(tok, wk)
-	v, _ := tensor.MatMul(tok, wv)
-	kt, err := tensor.Transpose2D(k)
-	if err != nil {
+func (d *Denoiser) globalAttention(tok *tensor.Tensor, wq, wk, wv, wout *tensor.Tensor, ws *workspace, p *parallel.Pool) error {
+	if err := tensor.MatMulInto(ws.tq, tok, wq, p); err != nil {
 		return err
 	}
-	logits, err := tensor.MatMul(q, kt)
-	if err != nil {
+	if err := tensor.MatMulInto(ws.tk, tok, wk, p); err != nil {
 		return err
 	}
-	logits.Scale(float32(1 / math.Sqrt(float64(d.cfg.TokenDim))))
-	if err := logits.SoftmaxRows(); err != nil {
+	if err := tensor.MatMulInto(ws.tv, tok, wv, p); err != nil {
 		return err
 	}
-	attn, err := tensor.MatMul(logits, v)
-	if err != nil {
+	if err := tensor.Transpose2DInto(ws.tkt, ws.tk, p); err != nil {
 		return err
 	}
-	proj, err := tensor.MatMul(attn, wout)
-	if err != nil {
+	logits := ws.tlogits
+	if err := tensor.MatMulInto(logits, ws.tq, ws.tkt, p); err != nil {
 		return err
 	}
-	for i := range tok.Data {
-		tok.Data[i] += proj.Data[i]
+	logits.ScaleWith(float32(1/math.Sqrt(float64(d.cfg.TokenDim))), p)
+	if err := logits.SoftmaxRowsWith(p); err != nil {
+		return err
 	}
-	return tok.LayerNormRows()
+	if err := tensor.MatMulInto(ws.tctx, logits, ws.tv, p); err != nil {
+		return err
+	}
+	// tq is consumed; reuse its buffer for the output projection.
+	if err := tensor.MatMulInto(ws.tq, ws.tctx, wout, p); err != nil {
+		return err
+	}
+	if err := tensor.AddAssign(tok, ws.tq, p); err != nil {
+		return err
+	}
+	return tok.LayerNormRowsWith(p)
 }
 
 // DenoiseStep runs one denoiser evaluation: embed noisy coordinates into
 // atom features, local-encode, pool to tokens, global-attend, broadcast
 // back, local-decode, and emit a coordinate update. coords is (A×3) and is
 // updated in place with the step's denoised estimate blended by sigma.
-func (d *Denoiser) DenoiseStep(coords *tensor.Tensor, sigma float64) error {
+//
+// The pool shards every stage over independent atoms/tokens (nil pool =
+// serial, bitwise identical); scratch tensors recycle through a shared
+// sync.Pool so the Samples×Steps denoising loop stays allocation-free.
+func (d *Denoiser) DenoiseStep(coords *tensor.Tensor, sigma float64, p *parallel.Pool) error {
 	a := coords.Shape[0]
 	apt := d.cfg.AtomsPerToken
 	if a%apt != 0 {
@@ -348,78 +370,91 @@ func (d *Denoiser) DenoiseStep(coords *tensor.Tensor, sigma float64) error {
 	}
 	n := a / apt
 
-	feat, err := tensor.MatMul(coords, d.coordEmbed)
-	if err != nil {
+	ws := takeWorkspace(d.cfg, a, p.Workers())
+	defer releaseWorkspace(ws)
+
+	feat := ws.feat
+	if err := tensor.MatMulInto(feat, coords, d.coordEmbed, p); err != nil {
 		return err
 	}
 	for li := 0; li < d.cfg.LocalEncLayers; li++ {
-		if err := d.localAttention(feat, d.encQ[li], d.encK[li], d.encV[li], d.encOut[li]); err != nil {
+		if err := d.localAttention(feat, d.encQ[li], d.encK[li], d.encV[li], d.encOut[li], ws, p); err != nil {
 			return err
 		}
 	}
 
-	// Pool atoms to tokens (mean) then project to token width.
-	pooled := tensor.New(n, d.cfg.AtomDim)
-	for t := 0; t < n; t++ {
-		dst := pooled.Row(t)
-		for j := 0; j < apt; j++ {
-			src := feat.Row(t*apt + j)
+	// Pool atoms to tokens (mean) then project to token width. Each token
+	// row is one shard-local reduction over its atoms.
+	pooled := ws.pooled
+	p.Run(n, func(_, tlo, thi int) {
+		for t := tlo; t < thi; t++ {
+			dst := pooled.Row(t)
 			for c := range dst {
-				dst[c] += src[c]
+				dst[c] = 0
+			}
+			for j := 0; j < apt; j++ {
+				src := feat.Row(t*apt + j)
+				for c := range dst {
+					dst[c] += src[c]
+				}
+			}
+			inv := float32(1.0 / float64(apt))
+			for c := range dst {
+				dst[c] *= inv
 			}
 		}
-		inv := float32(1.0 / float64(apt))
-		for c := range dst {
-			dst[c] *= inv
-		}
-	}
-	tok, err := tensor.MatMul(pooled, d.atomToToken)
-	if err != nil {
+	})
+	tok := ws.tok
+	if err := tensor.MatMulInto(tok, pooled, d.atomToToken, p); err != nil {
 		return err
 	}
 	for li := 0; li < d.cfg.GlobalLayers; li++ {
-		if err := d.globalAttention(tok, d.glbQ[li], d.glbK[li], d.glbV[li], d.glbOut[li]); err != nil {
+		if err := d.globalAttention(tok, d.glbQ[li], d.glbK[li], d.glbV[li], d.glbOut[li], ws, p); err != nil {
 			return err
 		}
 	}
 
-	// Broadcast token context back to atoms.
-	back, err := tensor.MatMul(tok, d.tokenToAtom)
-	if err != nil {
+	// Broadcast token context back to atoms (each token owns its atom rows).
+	back := ws.back
+	if err := tensor.MatMulInto(back, tok, d.tokenToAtom, p); err != nil {
 		return err
 	}
-	for t := 0; t < n; t++ {
-		src := back.Row(t)
-		for j := 0; j < apt; j++ {
-			dst := feat.Row(t*apt + j)
-			for c := range dst {
-				dst[c] += src[c]
+	p.Run(n, func(_, tlo, thi int) {
+		for t := tlo; t < thi; t++ {
+			src := back.Row(t)
+			for j := 0; j < apt; j++ {
+				dst := feat.Row(t*apt + j)
+				for c := range dst {
+					dst[c] += src[c]
+				}
 			}
 		}
-	}
+	})
 	for li := 0; li < d.cfg.LocalDecLayers; li++ {
-		if err := d.localAttention(feat, d.decQ[li], d.decK[li], d.decV[li], d.decOut[li]); err != nil {
+		if err := d.localAttention(feat, d.decQ[li], d.decK[li], d.decV[li], d.decOut[li], ws, p); err != nil {
 			return err
 		}
 	}
 
-	upd, err := tensor.MatMul(feat, d.coordHead)
-	if err != nil {
+	if err := tensor.MatMulInto(ws.coordUpd, feat, d.coordHead, p); err != nil {
 		return err
 	}
 	// Blend: coordinates move toward the denoised estimate, with the step
-	// size shrinking as sigma decays.
+	// size shrinking as sigma decays. Per-atom updates are independent.
 	blend := float32(0.1 * sigma)
-	for i := range coords.Data {
-		coords.Data[i] += blend * float32(math.Tanh(float64(upd.Data[i])))
-	}
+	cd, ud := coords.Data, ws.coordUpd.Data
+	p.Run(len(cd), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cd[i] += blend * float32(math.Tanh(float64(ud[i])))
+		}
+	})
 	return nil
 }
 
 // Sample runs the full denoising trajectory from Gaussian-noise initial
 // coordinates for n tokens, returning the final (A×3) coordinates.
-func (d *Denoiser) Sample(n int, src *rng.Source) (*tensor.Tensor, error) {
-	coords, _, err := d.SampleWithConfidence(n, src)
+func (d *Denoiser) Sample(n int, src *rng.Source, p *parallel.Pool) (*tensor.Tensor, error) {
+	coords, _, err := d.SampleWithConfidence(n, src, p)
 	return coords, err
 }
 
@@ -427,7 +462,7 @@ func (d *Denoiser) Sample(n int, src *rng.Source) (*tensor.Tensor, error) {
 // (0,1]: tokens whose atoms have stopped moving over the trajectory's final
 // quarter are confident (the convergence analog of AF3's pLDDT head; with
 // random weights only the convergence signal is meaningful).
-func (d *Denoiser) SampleWithConfidence(n int, src *rng.Source) (*tensor.Tensor, []float64, error) {
+func (d *Denoiser) SampleWithConfidence(n int, src *rng.Source, p *parallel.Pool) (*tensor.Tensor, []float64, error) {
 	apt := d.cfg.AtomsPerToken
 	a := n * apt
 	coords := tensor.New(a, 3)
@@ -441,7 +476,7 @@ func (d *Denoiser) SampleWithConfidence(n int, src *rng.Source) (*tensor.Tensor,
 	prev := make([]float32, len(coords.Data))
 	for si, sigma := range schedule {
 		copy(prev, coords.Data)
-		if err := d.DenoiseStep(coords, sigma); err != nil {
+		if err := d.DenoiseStep(coords, sigma, p); err != nil {
 			return nil, nil, err
 		}
 		if si >= tailStart {

@@ -149,7 +149,7 @@ func TestDenoiseStepShapesAndFiniteness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coords, err := d.Sample(6, src.Split(2))
+	coords, err := d.Sample(6, src.Split(2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestDenoiseDeterministic(t *testing.T) {
 	run := func() float32 {
 		src := rng.New(5)
 		d, _ := NewDenoiser(cfg, src)
-		coords, err := d.Sample(4, src.Split(2))
+		coords, err := d.Sample(4, src.Split(2), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,9 +183,9 @@ func TestDenoiseStepMovesCoords(t *testing.T) {
 	cfg := tinyConfig()
 	src := rng.New(9)
 	d, _ := NewDenoiser(cfg, src)
-	coords, _ := d.Sample(4, src.Split(1))
+	coords, _ := d.Sample(4, src.Split(1), nil)
 	before := coords.Clone()
-	if err := d.DenoiseStep(coords, 1.0); err != nil {
+	if err := d.DenoiseStep(coords, 1.0, nil); err != nil {
 		t.Fatal(err)
 	}
 	moved := false
@@ -208,7 +208,7 @@ func TestDenoiseStepAtomCountMismatch(t *testing.T) {
 	src := rng.New(3)
 	d, _ := NewDenoiser(cfg, src)
 	coords := tensor.New(7, 3) // not divisible by AtomsPerToken=4
-	if err := d.DenoiseStep(coords, 1); err == nil {
+	if err := d.DenoiseStep(coords, 1, nil); err == nil {
 		t.Error("indivisible atom count accepted")
 	}
 }
@@ -227,7 +227,7 @@ func TestSampleWithConfidence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coords, conf, err := d.SampleWithConfidence(5, src.Split(1))
+	coords, conf, err := d.SampleWithConfidence(5, src.Split(1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func TestConfidenceRisesWithMoreSteps(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, conf, err := d.SampleWithConfidence(6, src.Split(1))
+		_, conf, err := d.SampleWithConfidence(6, src.Split(1), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -273,11 +273,11 @@ func TestSampleMatchesSampleWithConfidence(t *testing.T) {
 	src1, src2 := rng.New(29), rng.New(29)
 	d1, _ := NewDenoiser(cfg, src1)
 	d2, _ := NewDenoiser(cfg, src2)
-	a, err := d1.Sample(4, src1.Split(1))
+	a, err := d1.Sample(4, src1.Split(1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := d2.SampleWithConfidence(4, src2.Split(1))
+	b, _, err := d2.SampleWithConfidence(4, src2.Split(1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,81 @@
+package diffusion
+
+import (
+	"sync"
+
+	"afsysbench/internal/tensor"
+)
+
+// workspace holds every scratch tensor one DenoiseStep needs. The
+// denoising loop re-runs the denoiser Samples×Steps times, so recycling
+// these buffers through a sync.Pool removes the dominant allocation
+// source of a trajectory. Buffers are sized by (Config, atom count,
+// shards); a mismatched workspace is dropped and rebuilt.
+type workspace struct {
+	cfg    Config
+	atoms  int
+	shards int
+
+	feat *tensor.Tensor // A×AtomDim atom features
+	// Local attention scratch (encoder and decoder share it).
+	aq, ak, av, actx *tensor.Tensor // A×AtomDim
+	winLogits        [][]float32    // per-shard AtomWindow+1 logit scratch
+	// Token-level scratch.
+	pooled     *tensor.Tensor // N×AtomDim
+	tok        *tensor.Tensor // N×TokenDim
+	tq, tk, tv *tensor.Tensor // N×TokenDim
+	tkt        *tensor.Tensor // TokenDim×N
+	tlogits    *tensor.Tensor // N×N
+	tctx       *tensor.Tensor // N×TokenDim
+	back       *tensor.Tensor // N×AtomDim token context for atoms
+	coordUpd   *tensor.Tensor // A×3 coordinate head output
+}
+
+func newWorkspace(cfg Config, atoms, shards int) *workspace {
+	n := atoms / cfg.AtomsPerToken
+	da, dt := cfg.AtomDim, cfg.TokenDim
+	ws := &workspace{
+		cfg:      cfg,
+		atoms:    atoms,
+		shards:   shards,
+		feat:     tensor.New(atoms, da),
+		aq:       tensor.New(atoms, da),
+		ak:       tensor.New(atoms, da),
+		av:       tensor.New(atoms, da),
+		actx:     tensor.New(atoms, da),
+		pooled:   tensor.New(n, da),
+		tok:      tensor.New(n, dt),
+		tq:       tensor.New(n, dt),
+		tk:       tensor.New(n, dt),
+		tv:       tensor.New(n, dt),
+		tkt:      tensor.New(dt, n),
+		tlogits:  tensor.New(n, n),
+		tctx:     tensor.New(n, dt),
+		back:     tensor.New(n, da),
+		coordUpd: tensor.New(atoms, 3),
+	}
+	ws.winLogits = make([][]float32, shards)
+	for i := range ws.winLogits {
+		ws.winLogits[i] = make([]float32, cfg.AtomWindow+1)
+	}
+	return ws
+}
+
+func (ws *workspace) fits(cfg Config, atoms, shards int) bool {
+	return ws.cfg == cfg && ws.atoms == atoms && ws.shards >= shards
+}
+
+var wsPool sync.Pool
+
+// takeWorkspace returns a workspace sized for (cfg, atoms) with per-shard
+// scratch for at least `shards` concurrent shards.
+func takeWorkspace(cfg Config, atoms, shards int) *workspace {
+	if ws, ok := wsPool.Get().(*workspace); ok {
+		if ws.fits(cfg, atoms, shards) {
+			return ws
+		}
+	}
+	return newWorkspace(cfg, atoms, shards)
+}
+
+func releaseWorkspace(ws *workspace) { wsPool.Put(ws) }

@@ -122,8 +122,15 @@ func buildSeedIndex(q *seq.Sequence, k int) *seedIndex {
 	if q.Len() < k {
 		return idx
 	}
-	for i := 0; i+k <= q.Len(); i++ {
-		idx.pos[idx.hash(q.Residues[i:i+k])] = append(idx.pos[idx.hash(q.Residues[i:i+k])], int32(i))
+	// Hash the first window in full, then roll: each subsequent window is
+	// O(1) instead of O(k), and the value is identical (the polynomial hash
+	// is exact under uint32 wraparound).
+	h := idx.hash(q.Residues[:k])
+	idx.pos[h] = append(idx.pos[h], 0)
+	top := idx.topWeight()
+	for i := 1; i+k <= q.Len(); i++ {
+		h = idx.roll(h, q.Residues[i-1], q.Residues[i+k-1], top)
+		idx.pos[h] = append(idx.pos[h], int32(i))
 	}
 	return idx
 }
@@ -136,6 +143,23 @@ func (idx *seedIndex) hash(kmer []byte) uint32 {
 	return h
 }
 
+// topWeight returns alphaLen^(k-1) mod 2³² — the weight of the leading
+// residue in the polynomial hash.
+func (idx *seedIndex) topWeight() uint32 {
+	w := uint32(1)
+	for i := 1; i < idx.k; i++ {
+		w *= uint32(idx.alphaLen)
+	}
+	return w
+}
+
+// roll slides a window hash one position right: drop `out`, append `in`.
+// All arithmetic wraps mod 2³², so the result equals hash() of the shifted
+// window exactly.
+func (idx *seedIndex) roll(h uint32, out, in byte, top uint32) uint32 {
+	return (h-uint32(out)*top)*uint32(idx.alphaLen) + uint32(in)
+}
+
 // candidates returns the merged candidate diagonals for a target, recording
 // the seed-scan work. Diagonals closer than mergeDist collapse into one.
 func (idx *seedIndex) candidates(target *seq.Sequence, minSeeds, maxDiag, mergeDist int, m metering.Meter) []int {
@@ -145,8 +169,12 @@ func (idx *seedIndex) candidates(target *seq.Sequence, minSeeds, maxDiag, mergeD
 	}
 	votes := make(map[int]int)
 	var probes uint64
+	h := idx.hash(target.Residues[:idx.k])
+	top := idx.topWeight()
 	for i := 0; i+idx.k <= L; i++ {
-		h := idx.hash(target.Residues[i : i+idx.k])
+		if i > 0 {
+			h = idx.roll(h, target.Residues[i-1], target.Residues[i+idx.k-1], top)
+		}
 		for _, qp := range idx.pos[h] {
 			votes[int(qp)-i]++
 			probes++

@@ -90,6 +90,49 @@ func TestSeedIndexFindsIdenticalDiagonal(t *testing.T) {
 	}
 }
 
+func TestRollingHashMatchesFullHash(t *testing.T) {
+	g := seq.NewGenerator(rng.New(11))
+	for _, k := range []int{2, 3, 5, 8} {
+		q := g.Random("q", seq.Protein, 200)
+		idx := buildSeedIndex(q, k)
+		// Every window of an independent target must roll to exactly the
+		// value a from-scratch hash computes (wraparound arithmetic is
+		// exact, so these are equal, not just collision-free).
+		tgt := g.Random("t", seq.Protein, 150)
+		h := idx.hash(tgt.Residues[:k])
+		top := idx.topWeight()
+		for i := 0; i+k <= tgt.Len(); i++ {
+			if i > 0 {
+				h = idx.roll(h, tgt.Residues[i-1], tgt.Residues[i+k-1], top)
+			}
+			if want := idx.hash(tgt.Residues[i : i+k]); h != want {
+				t.Fatalf("k=%d pos=%d rolled hash %#x != full hash %#x", k, i, h, want)
+			}
+		}
+		// And the rolled index must match one built with from-scratch
+		// hashing position by position.
+		ref := make(map[uint32][]int32)
+		for i := 0; i+k <= q.Len(); i++ {
+			fh := idx.hash(q.Residues[i : i+k])
+			ref[fh] = append(ref[fh], int32(i))
+		}
+		if len(ref) != len(idx.pos) {
+			t.Fatalf("k=%d index has %d buckets, reference %d", k, len(idx.pos), len(ref))
+		}
+		for fh, want := range ref {
+			got := idx.pos[fh]
+			if len(got) != len(want) {
+				t.Fatalf("k=%d bucket %#x = %v, want %v", k, fh, got, want)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("k=%d bucket %#x = %v, want %v", k, fh, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestSeedIndexShortTarget(t *testing.T) {
 	g := seq.NewGenerator(rng.New(4))
 	q := g.Random("q", seq.Protein, 50)

@@ -2,11 +2,11 @@ package msa
 
 import (
 	"fmt"
-	"sync"
 
 	"afsysbench/internal/hmmer"
 	"afsysbench/internal/inputs"
 	"afsysbench/internal/metering"
+	"afsysbench/internal/parallel"
 	"afsysbench/internal/seq"
 	"afsysbench/internal/seqdb"
 )
@@ -193,7 +193,10 @@ func inclusionE(opts Options) float64 {
 // scanParallel shards db across the workers, scanning concurrently — the
 // analog of HMMER's worker threads consuming reader blocks. Each worker's
 // metering events are scaled by the database's synthetic-to-paper factor
-// before accumulation.
+// before accumulation. parallel.Shards is used (not a capped Pool.Run)
+// because the shard count is semantic here: shard w's events must land in
+// res.Workers[w] for per-thread attribution, even when Threads exceeds the
+// machine's core count.
 func scanParallel(profile *hmmer.Profile, query *seq.Sequence, db *seqdb.DB, opts Options, res *Result) (*hmmer.Result, error) {
 	t := opts.Threads
 	searchOpts := opts.Search
@@ -201,22 +204,11 @@ func scanParallel(profile *hmmer.Profile, query *seq.Sequence, db *seqdb.DB, opt
 
 	parts := make([]*hmmer.Result, t)
 	errs := make([]error, t)
-	var wg sync.WaitGroup
-	for w := 0; w < t; w++ {
-		lo := len(db.Seqs) * w / t
-		hi := len(db.Seqs) * (w + 1) / t
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			meter := metering.Scaled(res.Workers[w], db.ScaleFactor*opts.WorkCalibration)
-			src := &hmmer.SliceSource{Seqs: db.Seqs[lo:hi]}
-			parts[w], errs[w] = hmmer.ScanRecords(profile, query, src, db.TotalResidues(), searchOpts, meter)
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	parallel.Shards(t, len(db.Seqs), func(w, lo, hi int) {
+		meter := metering.Scaled(res.Workers[w], db.ScaleFactor*opts.WorkCalibration)
+		src := &hmmer.SliceSource{Seqs: db.Seqs[lo:hi]}
+		parts[w], errs[w] = hmmer.ScanRecords(profile, query, src, db.TotalResidues(), searchOpts, meter)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

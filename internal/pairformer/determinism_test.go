@@ -1,0 +1,91 @@
+package pairformer
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"afsysbench/internal/parallel"
+	"afsysbench/internal/rng"
+)
+
+// stackWith runs a fresh deterministic Stack on a pool of the given worker
+// count and returns the resulting pair and single tensors' raw data.
+func stackWith(t *testing.T, workers int) ([]float32, []float32) {
+	t.Helper()
+	cfg := Config{
+		Blocks: 2, PairDim: 8, SingleDim: 16, Heads: 2, HeadDim: 4,
+		TriHidden: 8, TransMult: 2,
+	}
+	src := rng.New(42)
+	s := RandomState(cfg, 17, src.Split(1))
+	var p *parallel.Pool
+	if workers > 1 {
+		p = parallel.New(workers)
+		defer p.Close()
+	}
+	if err := Stack(cfg, s, src.Split(2), p); err != nil {
+		t.Fatal(err)
+	}
+	return s.Pair.Data, s.Single.Data
+}
+
+// TestStackBitwiseDeterministicAcrossWorkerCounts is the tentpole
+// invariant: sharding only ever splits independent output slices, so the
+// float32 results are bitwise identical at any worker count — including
+// worker counts far above GOMAXPROCS.
+func TestStackBitwiseDeterministicAcrossWorkerCounts(t *testing.T) {
+	refPair, refSingle := stackWith(t, 1)
+	counts := []int{2, 3, runtime.NumCPU(), 8}
+	for _, w := range counts {
+		if w < 2 {
+			continue
+		}
+		pair, single := stackWith(t, w)
+		for i := range refPair {
+			if math.Float32bits(pair[i]) != math.Float32bits(refPair[i]) {
+				t.Fatalf("workers=%d: pair[%d] = %x, serial %x",
+					w, i, math.Float32bits(pair[i]), math.Float32bits(refPair[i]))
+			}
+		}
+		for i := range refSingle {
+			if math.Float32bits(single[i]) != math.Float32bits(refSingle[i]) {
+				t.Fatalf("workers=%d: single[%d] = %x, serial %x",
+					w, i, math.Float32bits(single[i]), math.Float32bits(refSingle[i]))
+			}
+		}
+	}
+}
+
+// TestApplyReusesWorkspace asserts the steady-state allocation claim: after
+// the first Apply warms the workspace pool, further Applies allocate near
+// zero.
+func TestApplyReusesWorkspace(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts only meaningful without -race")
+	}
+	cfg := Config{
+		Blocks: 1, PairDim: 8, SingleDim: 16, Heads: 2, HeadDim: 4,
+		TriHidden: 8, TransMult: 2,
+	}
+	src := rng.New(7)
+	blk, err := NewBlock(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RandomState(cfg, 12, src.Split(1))
+	if err := blk.Apply(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := blk.Apply(s, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A handful of incidental allocations (sync.Pool internals, a stray
+	// closure) is fine; per-layer tensor allocation is not (a single
+	// scratch tensor here would already blow this bound).
+	if allocs > 8 {
+		t.Errorf("steady-state Apply allocates %.0f objects per run, want <= 8", allocs)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pairformer
+
+const raceEnabled = false

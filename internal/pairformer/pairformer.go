@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"afsysbench/internal/parallel"
 	"afsysbench/internal/rng"
 	"afsysbench/internal/tensor"
 )
@@ -262,42 +263,64 @@ func (s *State) pairAt(i, j int) []float32 { return s.Pair.Row(i*s.N + j) }
 // Apply runs the block over the state in place: triangle multiplicative
 // update (outgoing then incoming), triangle attention (starting then
 // ending), pair transition, single update. All layers are residual.
-func (b *Block) Apply(s *State) error {
+//
+// The pool shards every kernel over independent output slices, so results
+// are bitwise identical at any worker count; a nil pool runs serially.
+// Scratch tensors come from a shared sync.Pool, so steady-state Apply
+// calls allocate (almost) nothing.
+func (b *Block) Apply(s *State, p *parallel.Pool) error {
 	if s.Pair.Shape[0] != s.N*s.N || s.Pair.Shape[1] != b.cfg.PairDim {
 		return fmt.Errorf("pairformer: pair shape %v does not match N=%d, d=%d", s.Pair.Shape, s.N, b.cfg.PairDim)
 	}
 	if s.Single.Shape[0] != s.N || s.Single.Shape[1] != b.cfg.SingleDim {
 		return fmt.Errorf("pairformer: single shape %v does not match N=%d, ds=%d", s.Single.Shape, s.N, b.cfg.SingleDim)
 	}
-	b.triangleMult(s, true)
-	b.triangleMult(s, false)
-	if err := b.triangleAttention(s, true); err != nil {
+	ws := takeWorkspace(b.cfg, s.N, p.Workers())
+	defer releaseWorkspace(ws)
+	if err := b.triangleMult(s, true, ws, p); err != nil {
 		return err
 	}
-	if err := b.triangleAttention(s, false); err != nil {
+	if err := b.triangleMult(s, false, ws, p); err != nil {
 		return err
 	}
-	if err := b.pairTransition(s); err != nil {
+	if err := b.triangleAttention(s, true, ws, p); err != nil {
 		return err
 	}
-	return b.singleUpdate(s)
+	if err := b.triangleAttention(s, false, ws, p); err != nil {
+		return err
+	}
+	if err := b.pairTransition(s, ws, p); err != nil {
+		return err
+	}
+	return b.singleUpdate(s, ws, p)
 }
 
 // triangleMult implements z_ij += Out( gate ⊙ Σ_k a_ik ⊙ b_jk ) for the
 // outgoing direction (incoming contracts over k on the first index:
-// Σ_k a_ki ⊙ b_kj).
-func (b *Block) triangleMult(s *State, outgoing bool) {
-	n, ch, d := s.N, b.cfg.TriHidden, b.cfg.PairDim
-	// Project the whole pair tensor once: a, bp are (N*N)×ch.
-	a, _ := tensor.MatMul(s.Pair, b.triA)
-	bp, _ := tensor.MatMul(s.Pair, b.triB)
-	gate, _ := tensor.MatMul(s.Pair, b.triGate)
-	gate.Sigmoid()
+// Σ_k a_ki ⊙ b_kj). The cubic combine is sharded over (i,j) pair rows:
+// each output row's k-reduction stays within one shard.
+func (b *Block) triangleMult(s *State, outgoing bool, ws *workspace, p *parallel.Pool) error {
+	n, ch := s.N, b.cfg.TriHidden
+	// Project the whole pair tensor once: projA, projB are (N*N)×ch.
+	if err := tensor.MatMulInto(ws.projA, s.Pair, b.triA, p); err != nil {
+		return err
+	}
+	if err := tensor.MatMulInto(ws.projB, s.Pair, b.triB, p); err != nil {
+		return err
+	}
+	if err := tensor.MatMulInto(ws.gate, s.Pair, b.triGate, p); err != nil {
+		return err
+	}
+	ws.gate.SigmoidWith(p)
 
-	acc := tensor.New(n*n, ch)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			out := acc.Row(i*n + j)
+	a, bp, acc := ws.projA, ws.projB, ws.acc
+	p.Run(n*n, func(_, lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			i, j := idx/n, idx%n
+			out := acc.Row(idx)
+			for c := range out {
+				out[c] = 0
+			}
 			for k := 0; k < n; k++ {
 				var ra, rb []float32
 				if outgoing {
@@ -312,34 +335,47 @@ func (b *Block) triangleMult(s *State, outgoing bool) {
 				}
 			}
 		}
-	}
+	})
 	// Normalize by N to keep magnitudes bounded, gate, project, residual.
-	acc.Scale(1 / float32(n))
-	gated, _ := tensor.Mul(acc, gate)
-	upd, _ := tensor.MatMul(gated, b.triOut)
-	for i := 0; i < n*n*d; i++ {
-		s.Pair.Data[i] += upd.Data[i]
+	acc.ScaleWith(1/float32(n), p)
+	if err := tensor.MulAssign(acc, ws.gate, p); err != nil {
+		return err
 	}
+	if err := tensor.MatMulInto(ws.pairUpd, acc, b.triOut, p); err != nil {
+		return err
+	}
+	return tensor.AddAssign(s.Pair, ws.pairUpd, p)
 }
 
 // triangleAttention runs per-(i) rows (starting node) or per-(j) columns
 // (ending node) attention over intermediates k, with the third triangle
-// edge contributing the attention bias.
-func (b *Block) triangleAttention(s *State, starting bool) error {
+// edge contributing the attention bias. Work is sharded over (head, i)
+// units; each unit owns its softmax and writes a disjoint (row, channel)
+// slice of the context tensor.
+func (b *Block) triangleAttention(s *State, starting bool, ws *workspace, p *parallel.Pool) error {
 	n := s.N
 	h, hd := b.cfg.Heads, b.cfg.HeadDim
-	d := b.cfg.PairDim
-	q, _ := tensor.MatMul(s.Pair, b.attnQ)
-	k, _ := tensor.MatMul(s.Pair, b.attnK)
-	v, _ := tensor.MatMul(s.Pair, b.attnV)
-	bias, _ := tensor.MatMul(s.Pair, b.attnBias) // (N*N)×h
-	upd := tensor.New(n*n, h*hd)
+	if err := tensor.MatMulInto(ws.q, s.Pair, b.attnQ, p); err != nil {
+		return err
+	}
+	if err := tensor.MatMulInto(ws.k, s.Pair, b.attnK, p); err != nil {
+		return err
+	}
+	if err := tensor.MatMulInto(ws.v, s.Pair, b.attnV, p); err != nil {
+		return err
+	}
+	if err := tensor.MatMulInto(ws.bias, s.Pair, b.attnBias, p); err != nil { // (N*N)×h
+		return err
+	}
+	q, k, v, bias, upd := ws.q, ws.k, ws.v, ws.bias, ws.ctx
+	upd.ZeroWith(p)
 	scale := float32(1 / math.Sqrt(float64(hd)))
 
-	logits := tensor.New(n, n) // reused per (row, head)
-	for head := 0; head < h; head++ {
-		off := head * hd
-		for i := 0; i < n; i++ {
+	p.Run(h*n, func(shard, lo, hi int) {
+		logits := ws.logits[shard] // N×N scratch, exclusive to this shard
+		for u := lo; u < hi; u++ {
+			head, i := u/n, u%n
+			off := head * hd
 			// For starting node: queries are (i,j), keys/values (i,k),
 			// bias from edge (j,k). Ending node mirrors with column focus:
 			// queries (i,j) attend over (k,j) with bias (k,i).
@@ -368,9 +404,7 @@ func (b *Block) triangleAttention(s *State, starting bool) error {
 					lrow[kk] = dot*scale + bv
 				}
 			}
-			if err := logits.SoftmaxRows(); err != nil {
-				return err
-			}
+			_ = logits.SoftmaxRows() // always 2-d; cannot fail
 			for j := 0; j < n; j++ {
 				var dst []float32
 				if starting {
@@ -396,81 +430,82 @@ func (b *Block) triangleAttention(s *State, starting bool) error {
 				}
 			}
 		}
+	})
+	if err := tensor.MatMulInto(ws.pairUpd, upd, b.attnOut, p); err != nil {
+		return err
 	}
-	proj, _ := tensor.MatMul(upd, b.attnOut)
-	for i := 0; i < n*n*d; i++ {
-		s.Pair.Data[i] += proj.Data[i]
-	}
-	return nil
+	return tensor.AddAssign(s.Pair, ws.pairUpd, p)
 }
 
 // pairTransition applies the residual 2-layer MLP to every pair element.
-func (b *Block) pairTransition(s *State) error {
-	hidden, err := tensor.MatMul(s.Pair, b.trans1)
-	if err != nil {
+func (b *Block) pairTransition(s *State, ws *workspace, p *parallel.Pool) error {
+	if err := tensor.MatMulInto(ws.hidden, s.Pair, b.trans1, p); err != nil {
 		return err
 	}
-	hidden.ReLU()
-	upd, err := tensor.MatMul(hidden, b.trans2)
-	if err != nil {
+	ws.hidden.ReLUWith(p)
+	if err := tensor.MatMulInto(ws.pairUpd, ws.hidden, b.trans2, p); err != nil {
 		return err
 	}
-	for i := range s.Pair.Data {
-		s.Pair.Data[i] += upd.Data[i]
-	}
-	return nil
+	return tensor.AddAssign(s.Pair, ws.pairUpd, p)
 }
 
 // singleUpdate refreshes the single representation with self-attention
 // biased by the pair representation's first head channel, then a residual
 // add (the "Others" block in the paper's Figure 1).
-func (b *Block) singleUpdate(s *State) error {
+func (b *Block) singleUpdate(s *State, ws *workspace, p *parallel.Pool) error {
 	n, ds := s.N, b.cfg.SingleDim
-	q, _ := tensor.MatMul(s.Single, b.singleQ)
-	k, _ := tensor.MatMul(s.Single, b.singleK)
-	v, _ := tensor.MatMul(s.Single, b.singleV)
-	kt, err := tensor.Transpose2D(k)
-	if err != nil {
+	if err := tensor.MatMulInto(ws.sq, s.Single, b.singleQ, p); err != nil {
 		return err
 	}
-	logits, err := tensor.MatMul(q, kt)
-	if err != nil {
+	if err := tensor.MatMulInto(ws.sk, s.Single, b.singleK, p); err != nil {
 		return err
 	}
-	logits.Scale(float32(1 / math.Sqrt(float64(ds))))
+	if err := tensor.MatMulInto(ws.sv, s.Single, b.singleV, p); err != nil {
+		return err
+	}
+	if err := tensor.Transpose2DInto(ws.skt, ws.sk, p); err != nil {
+		return err
+	}
+	logits := ws.slogits
+	if err := tensor.MatMulInto(logits, ws.sq, ws.skt, p); err != nil {
+		return err
+	}
+	logits.ScaleWith(float32(1/math.Sqrt(float64(ds))), p)
 	// Pair bias: channel 0 of z_ij.
-	for i := 0; i < n; i++ {
-		row := logits.Row(i)
-		for j := 0; j < n; j++ {
-			row[j] += s.pairAt(i, j)[0]
+	p.Run(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := logits.Row(i)
+			for j := 0; j < n; j++ {
+				row[j] += s.pairAt(i, j)[0]
+			}
 		}
-	}
-	if err := logits.SoftmaxRows(); err != nil {
+	})
+	if err := logits.SoftmaxRowsWith(p); err != nil {
 		return err
 	}
-	attn, err := tensor.MatMul(logits, v)
-	if err != nil {
+	if err := tensor.MatMulInto(ws.sattn, logits, ws.sv, p); err != nil {
 		return err
 	}
-	upd, err := tensor.MatMul(attn, b.singleOut)
-	if err != nil {
+	if err := tensor.MatMulInto(ws.supd, ws.sattn, b.singleOut, p); err != nil {
 		return err
 	}
-	for i := range s.Single.Data {
-		s.Single.Data[i] += upd.Data[i]
+	if err := tensor.AddAssign(s.Single, ws.supd, p); err != nil {
+		return err
 	}
-	return s.Single.LayerNormRows()
+	return s.Single.LayerNormRowsWith(p)
 }
 
 // Stack runs nBlocks blocks (each with independent weights drawn from src)
-// over the state, returning an error on shape problems.
-func Stack(cfg Config, s *State, src *rng.Source) error {
+// over the state, returning an error on shape problems. The pool governs
+// the compute parallelism of every block (nil = serial); the workspace
+// sync.Pool keeps the whole stack allocation-free past the first block.
+func Stack(cfg Config, s *State, src *rng.Source, p *parallel.Pool) error {
 	for i := 0; i < cfg.Blocks; i++ {
 		blk, err := NewBlock(cfg, src.Split(uint64(i)))
 		if err != nil {
 			return err
 		}
-		if err := blk.Apply(s); err != nil {
+		if err := blk.Apply(s, p); err != nil {
 			return err
 		}
 	}

@@ -117,7 +117,7 @@ func TestBlockApplyShapesAndFiniteness(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := RandomState(cfg, 12, src.Split(9))
-	if err := blk.Apply(s); err != nil {
+	if err := blk.Apply(s, nil); err != nil {
 		t.Fatal(err)
 	}
 	if s.Pair.Shape[0] != 144 || s.Pair.Shape[1] != cfg.PairDim {
@@ -144,7 +144,7 @@ func TestBlockApplyChangesState(t *testing.T) {
 	blk, _ := NewBlock(cfg, src)
 	s := RandomState(cfg, 8, src.Split(9))
 	before := s.Pair.Clone()
-	if err := blk.Apply(s); err != nil {
+	if err := blk.Apply(s, nil); err != nil {
 		t.Fatal(err)
 	}
 	same := true
@@ -169,7 +169,7 @@ func TestZeroWeightBlockPreservesPair(t *testing.T) {
 	}
 	s := RandomState(cfg, 6, rng.New(3))
 	before := s.Pair.Clone()
-	if err := blk.Apply(s); err != nil {
+	if err := blk.Apply(s, nil); err != nil {
 		t.Fatal(err)
 	}
 	for i := range before.Data {
@@ -185,7 +185,7 @@ func TestApplyDeterministic(t *testing.T) {
 		src := rng.New(7)
 		blk, _ := NewBlock(cfg, src)
 		s := RandomState(cfg, 10, src.Split(9))
-		if err := blk.Apply(s); err != nil {
+		if err := blk.Apply(s, nil); err != nil {
 			t.Fatal(err)
 		}
 		return s.Pair.Data[17]
@@ -200,7 +200,7 @@ func TestApplyShapeMismatchErrors(t *testing.T) {
 	blk, _ := NewBlock(cfg, rng.New(1))
 	s := RandomState(cfg, 6, rng.New(2))
 	s.N = 7 // lie about N
-	if err := blk.Apply(s); err == nil {
+	if err := blk.Apply(s, nil); err == nil {
 		t.Error("mismatched N accepted")
 	}
 }
@@ -209,7 +209,7 @@ func TestStackRuns(t *testing.T) {
 	cfg := tinyConfig()
 	src := rng.New(11)
 	s := RandomState(cfg, 8, src.Split(1))
-	if err := Stack(cfg, s, src); err != nil {
+	if err := Stack(cfg, s, src, nil); err != nil {
 		t.Fatal(err)
 	}
 	if v := s.Pair.MaxAbs(); math.IsNaN(float64(v)) || v == 0 {

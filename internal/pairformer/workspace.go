@@ -1,0 +1,88 @@
+package pairformer
+
+import (
+	"sync"
+
+	"afsysbench/internal/tensor"
+)
+
+// workspace holds every scratch tensor one Block.Apply needs, so the
+// steady state of a Stack run (and of the diffusion trunk it feeds)
+// performs no per-layer allocations: the same buffers cycle through a
+// sync.Pool. Buffers are sized by (Config, N, shards); a mismatched
+// workspace is dropped and rebuilt.
+type workspace struct {
+	cfg    Config
+	n      int
+	shards int
+
+	// Triangle multiplicative update scratch.
+	projA, projB, gate, acc *tensor.Tensor // (N²)×TriHidden
+	// Triangle attention scratch.
+	q, k, v *tensor.Tensor   // (N²)×(Heads·HeadDim)
+	bias    *tensor.Tensor   // (N²)×Heads
+	ctx     *tensor.Tensor   // (N²)×(Heads·HeadDim) attention output
+	logits  []*tensor.Tensor // per-shard N×N logit scratch
+	// Pair transition scratch.
+	hidden *tensor.Tensor // (N²)×(PairDim·TransMult)
+	// Shared (N²)×PairDim residual-update buffer.
+	pairUpd *tensor.Tensor
+	// Single update scratch.
+	sq, sk, sv, sattn, supd *tensor.Tensor // N×SingleDim
+	skt                     *tensor.Tensor // SingleDim×N
+	slogits                 *tensor.Tensor // N×N
+}
+
+func newWorkspace(cfg Config, n, shards int) *workspace {
+	nn := n * n
+	hd := cfg.Heads * cfg.HeadDim
+	ws := &workspace{
+		cfg:    cfg,
+		n:      n,
+		shards: shards,
+		projA:  tensor.New(nn, cfg.TriHidden),
+		projB:  tensor.New(nn, cfg.TriHidden),
+		gate:   tensor.New(nn, cfg.TriHidden),
+		acc:    tensor.New(nn, cfg.TriHidden),
+		q:      tensor.New(nn, hd),
+		k:      tensor.New(nn, hd),
+		v:      tensor.New(nn, hd),
+		bias:   tensor.New(nn, cfg.Heads),
+		ctx:    tensor.New(nn, hd),
+		hidden: tensor.New(nn, cfg.PairDim*cfg.TransMult),
+
+		pairUpd: tensor.New(nn, cfg.PairDim),
+		sq:      tensor.New(n, cfg.SingleDim),
+		sk:      tensor.New(n, cfg.SingleDim),
+		sv:      tensor.New(n, cfg.SingleDim),
+		sattn:   tensor.New(n, cfg.SingleDim),
+		supd:    tensor.New(n, cfg.SingleDim),
+		skt:     tensor.New(cfg.SingleDim, n),
+		slogits: tensor.New(n, n),
+	}
+	ws.logits = make([]*tensor.Tensor, shards)
+	for i := range ws.logits {
+		ws.logits[i] = tensor.New(n, n)
+	}
+	return ws
+}
+
+func (ws *workspace) fits(cfg Config, n, shards int) bool {
+	return ws.cfg == cfg && ws.n == n && ws.shards >= shards
+}
+
+var wsPool sync.Pool
+
+// takeWorkspace returns a workspace sized for (cfg, n) with per-shard
+// scratch for at least `shards` concurrent shards, reusing a pooled one
+// when its shape matches.
+func takeWorkspace(cfg Config, n, shards int) *workspace {
+	if ws, ok := wsPool.Get().(*workspace); ok {
+		if ws.fits(cfg, n, shards) {
+			return ws
+		}
+	}
+	return newWorkspace(cfg, n, shards)
+}
+
+func releaseWorkspace(ws *workspace) { wsPool.Put(ws) }

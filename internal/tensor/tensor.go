@@ -87,30 +87,18 @@ func SameShape(a, b *Tensor) bool {
 	return true
 }
 
-// MatMul computes a (m×k) · b (k×n) into a new (m×n) tensor.
+// MatMul computes a (m×k) · b (k×n) into a new (m×n) tensor. It is the
+// serial, allocating form of MatMulInto.
 func MatMul(a, b *Tensor) (*Tensor, error) {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		return nil, fmt.Errorf("tensor: MatMul needs 2-d operands, got %v x %v", a.Shape, b.Shape)
 	}
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("tensor: MatMul inner dims %d vs %d", k, k2)
+	if a.Shape[1] != b.Shape[0] {
+		return nil, fmt.Errorf("tensor: MatMul inner dims %d vs %d", a.Shape[1], b.Shape[0])
 	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
+	out := New(a.Shape[0], b.Shape[1])
+	if err := MatMulInto(out, a, b, nil); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -143,90 +131,68 @@ func Mul(a, b *Tensor) (*Tensor, error) {
 }
 
 // Scale multiplies in place by s and returns t.
-func (t *Tensor) Scale(s float32) *Tensor {
-	for i := range t.Data {
-		t.Data[i] *= s
-	}
-	return t
-}
+func (t *Tensor) Scale(s float32) *Tensor { return t.ScaleWith(s, nil) }
 
 // Sigmoid applies the logistic function in place and returns t.
-func (t *Tensor) Sigmoid() *Tensor {
-	for i, v := range t.Data {
-		t.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
-	}
-	return t
-}
+func (t *Tensor) Sigmoid() *Tensor { return t.SigmoidWith(nil) }
 
 // ReLU applies max(0,x) in place and returns t.
-func (t *Tensor) ReLU() *Tensor {
-	for i, v := range t.Data {
-		if v < 0 {
-			t.Data[i] = 0
-		}
+func (t *Tensor) ReLU() *Tensor { return t.ReLUWith(nil) }
+
+func sigmoidSpan(d []float32) {
+	for i, v := range d {
+		d[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
-	return t
 }
 
 // SoftmaxRows applies a numerically stable softmax along the last axis of a
 // 2-d tensor, in place.
-func (t *Tensor) SoftmaxRows() error {
-	if t.Dims() != 2 {
-		return fmt.Errorf("tensor: SoftmaxRows needs 2-d, got %v", t.Shape)
-	}
-	n := t.Shape[1]
-	for i := 0; i < t.Shape[0]; i++ {
-		row := t.Data[i*n : (i+1)*n]
-		maxv := row[0]
-		for _, v := range row {
-			if v > maxv {
-				maxv = v
-			}
-		}
-		var sum float64
-		for j, v := range row {
-			e := math.Exp(float64(v - maxv))
-			row[j] = float32(e)
-			sum += e
-		}
-		if sum == 0 {
-			continue
-		}
-		inv := float32(1 / sum)
-		for j := range row {
-			row[j] *= inv
+func (t *Tensor) SoftmaxRows() error { return t.SoftmaxRowsWith(nil) }
+
+func softmaxRow(row []float32) {
+	maxv := row[0]
+	for _, v := range row {
+		if v > maxv {
+			maxv = v
 		}
 	}
-	return nil
+	var sum float64
+	for j, v := range row {
+		e := math.Exp(float64(v - maxv))
+		row[j] = float32(e)
+		sum += e
+	}
+	if sum == 0 {
+		return
+	}
+	inv := float32(1 / sum)
+	for j := range row {
+		row[j] *= inv
+	}
 }
 
 // LayerNormRows normalizes each row of a 2-d tensor to zero mean and unit
 // variance (eps-stabilized), in place.
-func (t *Tensor) LayerNormRows() error {
-	if t.Dims() != 2 {
-		return fmt.Errorf("tensor: LayerNormRows needs 2-d, got %v", t.Shape)
-	}
+func (t *Tensor) LayerNormRows() error { return t.LayerNormRowsWith(nil) }
+
+func layerNormRow(row []float32) {
 	const eps = 1e-5
-	n := t.Shape[1]
-	for i := 0; i < t.Shape[0]; i++ {
-		row := t.Data[i*n : (i+1)*n]
-		var mean float64
-		for _, v := range row {
-			mean += float64(v)
-		}
-		mean /= float64(n)
-		var variance float64
-		for _, v := range row {
-			d := float64(v) - mean
-			variance += d * d
-		}
-		variance /= float64(n)
-		inv := 1 / math.Sqrt(variance+eps)
-		for j, v := range row {
-			row[j] = float32((float64(v) - mean) * inv)
-		}
+	n := len(row)
+	var mean float64
+	for _, v := range row {
+		mean += float64(v)
 	}
-	return nil
+	mean /= float64(n)
+	var variance float64
+	for _, v := range row {
+		d := float64(v) - mean
+		variance += d * d
+	}
+	variance /= float64(n)
+	inv := 1 / math.Sqrt(variance+eps)
+	for j, v := range row {
+		row[j] = float32((float64(v) - mean) * inv)
+	}
 }
 
 // Transpose2D returns the transpose of a 2-d tensor.
