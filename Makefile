@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench
+.PHONY: all build test check fmt vet race faults bench
 
 all: build
 
@@ -28,7 +28,14 @@ vet:
 race:
 	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion
 
-check: fmt vet test race
+# Fault-injection and degradation suite under the race detector: the
+# resilience package, the cancellation paths through the scan engine, and
+# the orchestrator's ladder/retry/exit-code tests.
+faults:
+	$(GO) test -race ./internal/resilience
+	$(GO) test -race -run 'Ctx|Cancel|Fault|Resilience|Transient|Permanent|StageBudget|MemSpike|Stall|Stream|ExitCode|GoldenRun' ./internal/parallel ./internal/simio ./internal/hmmer ./internal/msa ./internal/core ./cmd/afsysbench
+
+check: fmt vet test race faults
 
 # Kernel microbenchmarks with allocation tracking (serial vs parallel).
 bench:

@@ -26,6 +26,7 @@ import (
 	"afsysbench/internal/inputs"
 	"afsysbench/internal/memest"
 	"afsysbench/internal/platform"
+	"afsysbench/internal/resilience"
 	"afsysbench/internal/simgpu"
 )
 
@@ -83,6 +84,31 @@ type PipelineResult = core.PipelineResult
 // ErrProjectedOOM is returned when the Section VI estimator predicts the
 // input cannot fit the machine.
 type ErrProjectedOOM = core.ErrProjectedOOM
+
+// Resilience layer: deadlines, fault injection, and the degradation ladder
+// for RunPipelineCtx. See ParseFaults for the fault-spec grammar.
+type (
+	// StageBudget caps modeled per-stage time (PipelineOptions.Budget).
+	StageBudget = resilience.StageBudget
+	// RetryPolicy is the capped-exponential transient-fault retry policy.
+	RetryPolicy = resilience.RetryPolicy
+	// Faults is a parsed fault-injection specification.
+	Faults = resilience.Faults
+	// ResilienceReport is a run's retry/degradation accounting
+	// (PipelineResult.Resilience).
+	ResilienceReport = resilience.Report
+	// ResilienceEvent is one recorded retry or degradation action.
+	ResilienceEvent = resilience.Event
+	// ErrStageTimeout reports a stage that missed its budget or deadline.
+	ErrStageTimeout = resilience.ErrStageTimeout
+	// ErrDBUnavailable reports a database the retry policy could not reach.
+	ErrDBUnavailable = resilience.ErrDBUnavailable
+)
+
+// ParseFaults parses the -faults flag grammar (transient:<db>[:count],
+// permanent:<db>, stall:<seconds>, memspike:<gib>[:after]; "*" targets
+// every database).
+func ParseFaults(spec string) (Faults, error) { return resilience.ParseFaults(spec) }
 
 // PhaseBreakdown is the Figure 8 inference decomposition.
 type PhaseBreakdown = simgpu.PhaseBreakdown

@@ -81,3 +81,92 @@ func TestGoldenDeterminism(t *testing.T) {
 		t.Error("deterministic experiment produced different output across runs")
 	}
 }
+
+// captureRun invokes the CLI entry point, returning stdout, the exit code
+// and the error (which some failure classes legitimately carry).
+func captureRun(t *testing.T, args []string) (string, int, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	code, runErr := runCLI(args)
+	w.Close()
+	os.Stdout = old
+	return <-done, code, runErr
+}
+
+func TestGoldenRunDegradedExitAndReport(t *testing.T) {
+	args := []string{"-run", "2PV7", "-machine", "desktop", "-threads", "4",
+		"-faults", "transient:uniref_s:2,permanent:mgnify_s"}
+	out, code, err := captureRun(t, args)
+	if err != nil {
+		t.Fatalf("degraded run must not error: %v", err)
+	}
+	if code != exitDegraded {
+		t.Fatalf("exit = %d, want %d (degraded success)", code, exitDegraded)
+	}
+	// The resilience block is seeded, not wall-clock: it must match byte
+	// for byte, retry waits included.
+	want := strings.TrimLeft(`
+resilience: retries=2 retry_wait=1.37s dropped=1 single_sequence=false degraded=true
+  msa     retry           uniref_s (0.53s): open attempt 1 failed; backing off
+  msa     retry           uniref_s (0.84s): open attempt 2 failed; backing off
+  msa     drop-db         mgnify_s: resilience: database mgnify_s unavailable after 1 attempts: resilience: injected permanent fault on mgnify_s (attempt 1)
+`, "\n")
+	if !strings.Contains(out, want) {
+		t.Errorf("resilience report drifted:\n--- got ---\n%s\n--- want block ---\n%s", out, want)
+	}
+	// And the whole report (timings included) is reproducible.
+	again, code2, _ := captureRun(t, args)
+	if out != again || code2 != code {
+		t.Error("repeat faulted run produced different output or exit code")
+	}
+}
+
+func TestGoldenRunExitCodes(t *testing.T) {
+	// Clean run: exit 0.
+	out, code, err := captureRun(t, []string{"-run", "2PV7", "-machine", "desktop", "-threads", "4"})
+	if err != nil || code != exitOK {
+		t.Fatalf("clean run: code=%d err=%v", code, err)
+	}
+	if strings.Contains(out, "resilience:") {
+		t.Error("clean run printed a resilience block")
+	}
+	// Modeled inference budget exceeded: exit 3, typed error.
+	_, code, err = captureRun(t, []string{"-run", "2PV7", "-machine", "desktop", "-threads", "4",
+		"-stage-budget", "inference=0.01"})
+	if code != exitTimeout {
+		t.Fatalf("budget timeout: code=%d err=%v", code, err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "stage inference") {
+		t.Errorf("timeout error = %v, want stage inference", err)
+	}
+	// Single-sequence fallback still counts as degraded success.
+	_, code, err = captureRun(t, []string{"-run", "2PV7", "-machine", "desktop", "-threads", "4",
+		"-faults", "permanent:*"})
+	if err != nil || code != exitDegraded {
+		t.Fatalf("single-sequence run: code=%d err=%v", code, err)
+	}
+	// Flag errors are the generic class.
+	_, code, err = captureRun(t, []string{"-run", "2PV7", "-machine", "hal9000"})
+	if code != exitError || err == nil {
+		t.Fatalf("bad machine: code=%d err=%v", code, err)
+	}
+	_, code, err = captureRun(t, []string{"-run", "2PV7", "-stage-budget", "warp=9"})
+	if code != exitError || err == nil {
+		t.Fatalf("bad budget: code=%d err=%v", code, err)
+	}
+	_, code, err = captureRun(t, []string{"-run", "nosuchsample"})
+	if code != exitError || err == nil {
+		t.Fatalf("bad sample: code=%d err=%v", code, err)
+	}
+}

@@ -10,9 +10,18 @@
 //	afsysbench -exp fig3                # any of fig2..fig9, tab3..tab6, all
 //	afsysbench -exp fig4 -samples 2PV7,promo
 //	afsysbench -exp fig3 -threads 1,4,8
+//	afsysbench -run 2PV7 -machine desktop               # one pipeline run
+//	afsysbench -run 2PV7 -faults permanent:uniref_s     # fault injection
+//	afsysbench -run 2PV7 -stage-budget msa=3000 -timeout 2m
+//
+// Exit codes for -run: 0 success, 1 generic error, 2 projected-OOM gate,
+// 3 stage timeout (modeled budget or wall-clock -timeout), 4 the run
+// finished but degraded (dropped databases or single-sequence fallback).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,21 +30,42 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"afsysbench/internal/core"
 	"afsysbench/internal/hmmer"
+	"afsysbench/internal/inputs"
 	"afsysbench/internal/platform"
 	"afsysbench/internal/report"
+	"afsysbench/internal/resilience"
+)
+
+// Exit codes of the -run mode, one per failure class so schedulers and
+// scripts can react without parsing output.
+const (
+	exitOK       = 0
+	exitError    = 1
+	exitOOMGate  = 2
+	exitTimeout  = 3
+	exitDegraded = 4
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := runCLI(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "afsysbench:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
+// run preserves the original error-only entry point (experiment paths and
+// tests); the exit-code classification lives in runCLI.
 func run(args []string) error {
+	_, err := runCLI(args)
+	return err
+}
+
+func runCLI(args []string) (int, error) {
 	fs := flag.NewFlagSet("afsysbench", flag.ContinueOnError)
 	list := fs.String("list", "", "list 'platforms' (Table I) or 'samples' (Table II)")
 	exp := fs.String("exp", "", "experiment id: fig2..fig9, tab3..tab6, or 'all'")
@@ -45,8 +75,14 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "also write <dir>/<exp>.csv for each experiment")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (compare Go hotspots against metering attribution)")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	runSample := fs.String("run", "", "run the end-to-end pipeline for one sample (Table II name) and exit by failure class")
+	machine := fs.String("machine", "server", "machine for -run: server, desktop, desktop-upgraded, server-cxl")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for -run (0 = none)")
+	stageBudget := fs.String("stage-budget", "", "modeled per-stage budgets for -run, e.g. 'msa=3000,inference=400' (seconds)")
+	faultsFlag := fs.String("faults", "", "fault spec for -run, e.g. 'transient:uniref_s:2,permanent:nt_rna_s,stall:120,memspike:40:1'")
+	skipMemCheck := fs.Bool("skip-mem-check", false, "disable the projected-OOM gate for -run (stock AF3 behavior)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return exitError, err
 	}
 
 	// Real Go-level profiles complement the simulated metering attribution:
@@ -55,11 +91,11 @@ func run(args []string) error {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
+			return exitError, fmt.Errorf("cpuprofile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
-			return fmt.Errorf("cpuprofile: %w", err)
+			return exitError, fmt.Errorf("cpuprofile: %w", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -84,16 +120,16 @@ func run(args []string) error {
 	w := os.Stdout
 	switch *list {
 	case "platforms":
-		return report.RenderPlatforms(w)
+		return exitIf(report.RenderPlatforms(w))
 	case "samples":
-		return report.RenderSamples(w)
+		return exitIf(report.RenderSamples(w))
 	case "":
 	default:
-		return fmt.Errorf("unknown -list target %q", *list)
+		return exitError, fmt.Errorf("unknown -list target %q", *list)
 	}
-	if *exp == "" {
+	if *exp == "" && *runSample == "" {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -list or -exp")
+		return exitError, fmt.Errorf("nothing to do: pass -list, -exp or -run")
 	}
 
 	samples := core.SampleNames()
@@ -106,7 +142,7 @@ func run(args []string) error {
 		for _, part := range strings.Split(*threadsFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
-				return fmt.Errorf("bad -threads value %q: %w", part, err)
+				return exitError, fmt.Errorf("bad -threads value %q: %w", part, err)
 			}
 			threads = append(threads, n)
 		}
@@ -114,9 +150,21 @@ func run(args []string) error {
 
 	suite, err := core.NewSuite()
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	suite.Runs = *runs
+
+	if *runSample != "" {
+		return runSingle(suite, singleRunConfig{
+			sample:       *runSample,
+			machine:      *machine,
+			threads:      threads,
+			timeout:      *timeout,
+			budgetSpec:   *stageBudget,
+			faultsSpec:   *faultsFlag,
+			skipMemCheck: *skipMemCheck,
+		})
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -127,10 +175,139 @@ func run(args []string) error {
 			fmt.Fprintln(w)
 		}
 		if err := runExperiment(suite, id, samples, threads, *csvDir); err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+			return exitError, fmt.Errorf("%s: %w", id, err)
 		}
 	}
-	return nil
+	return exitOK, nil
+}
+
+// exitIf maps a plain error to the generic-failure exit code.
+func exitIf(err error) (int, error) {
+	if err != nil {
+		return exitError, err
+	}
+	return exitOK, nil
+}
+
+// singleRunConfig is the parsed -run flag set.
+type singleRunConfig struct {
+	sample       string
+	machine      string
+	threads      []int
+	timeout      time.Duration
+	budgetSpec   string
+	faultsSpec   string
+	skipMemCheck bool
+}
+
+// runSingle executes one end-to-end pipeline run and classifies the exit.
+func runSingle(suite *core.Suite, cfg singleRunConfig) (int, error) {
+	in, err := inputs.ByName(cfg.sample)
+	if err != nil {
+		return exitError, err
+	}
+	mach, err := machineByName(cfg.machine)
+	if err != nil {
+		return exitError, err
+	}
+	budget, err := parseStageBudget(cfg.budgetSpec)
+	if err != nil {
+		return exitError, err
+	}
+	faults, err := resilience.ParseFaults(cfg.faultsSpec)
+	if err != nil {
+		return exitError, err
+	}
+	threads := 8
+	if len(cfg.threads) > 0 && cfg.threads[0] > 0 {
+		threads = cfg.threads[0]
+	}
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	pr, err := suite.RunPipelineCtx(ctx, in, mach, core.PipelineOptions{
+		Threads:      threads,
+		Budget:       budget,
+		Faults:       faults,
+		SkipMemCheck: cfg.skipMemCheck,
+	})
+	if err != nil {
+		return exitCodeFor(err), err
+	}
+	if err := report.RenderPipelineRun(os.Stdout, pr); err != nil {
+		return exitError, err
+	}
+	if pr.Resilience.Degraded {
+		return exitDegraded, nil
+	}
+	return exitOK, nil
+}
+
+// exitCodeFor maps a pipeline error to its failure class.
+func exitCodeFor(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var oom core.ErrProjectedOOM
+	if errors.As(err, &oom) {
+		return exitOOMGate
+	}
+	var timeout resilience.ErrStageTimeout
+	if errors.As(err, &timeout) {
+		return exitTimeout
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return exitTimeout
+	}
+	return exitError
+}
+
+// machineByName resolves the -machine flag.
+func machineByName(name string) (platform.Machine, error) {
+	switch name {
+	case "server":
+		return platform.Server(), nil
+	case "desktop":
+		return platform.Desktop(), nil
+	case "desktop-upgraded":
+		return platform.DesktopUpgraded(), nil
+	case "server-cxl":
+		return platform.ServerWithCXL(), nil
+	default:
+		return platform.Machine{}, fmt.Errorf("unknown -machine %q (want server, desktop, desktop-upgraded or server-cxl)", name)
+	}
+}
+
+// parseStageBudget parses the -stage-budget grammar: comma-separated
+// <stage>=<seconds> pairs where stage is msa or inference.
+func parseStageBudget(spec string) (resilience.StageBudget, error) {
+	var b resilience.StageBudget
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return b, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return b, fmt.Errorf("bad -stage-budget entry %q: want <stage>=<seconds>", part)
+		}
+		sec, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil || sec <= 0 {
+			return b, fmt.Errorf("bad -stage-budget seconds in %q", part)
+		}
+		switch strings.TrimSpace(kv[0]) {
+		case "msa":
+			b.MSASeconds = sec
+		case "inference":
+			b.InferenceSeconds = sec
+		default:
+			return b, fmt.Errorf("unknown -stage-budget stage %q (want msa or inference)", kv[0])
+		}
+	}
+	return b, nil
 }
 
 func runExperiment(suite *core.Suite, id string, samples []string, threads []int, csvDir string) error {

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"afsysbench/internal/core"
+	"afsysbench/internal/resilience"
 )
 
 func TestRunList(t *testing.T) {
@@ -77,5 +83,40 @@ func TestPick(t *testing.T) {
 	got = pick([]string{"6QNR"}, "2PV7", "promo")
 	if len(got) != 2 {
 		t.Errorf("fallback pick = %v", got)
+	}
+}
+
+func TestExitCodeClasses(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, exitOK},
+		{errors.New("anything"), exitError},
+		{core.ErrProjectedOOM{}, exitOOMGate},
+		{fmt.Errorf("run: %w", core.ErrProjectedOOM{}), exitOOMGate},
+		{resilience.ErrStageTimeout{Stage: "inference"}, exitTimeout},
+		{fmt.Errorf("run: %w", resilience.ErrStageTimeout{Stage: "msa", Cause: context.Canceled}), exitTimeout},
+		{context.DeadlineExceeded, exitTimeout},
+	}
+	for _, c := range cases {
+		if got := exitCodeFor(c.err); got != c.want {
+			t.Errorf("exitCodeFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestParseStageBudget(t *testing.T) {
+	b, err := parseStageBudget("msa=3000, inference=400")
+	if err != nil || b.MSASeconds != 3000 || b.InferenceSeconds != 400 {
+		t.Fatalf("budget = %+v, err = %v", b, err)
+	}
+	if b, err := parseStageBudget(""); err != nil || b != (resilience.StageBudget{}) {
+		t.Errorf("empty spec: %+v, %v", b, err)
+	}
+	for _, bad := range []string{"msa", "msa=x", "msa=-1", "gpu=5"} {
+		if _, err := parseStageBudget(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 
@@ -155,12 +156,35 @@ func TestProjectedOOMGate(t *testing.T) {
 	if !errors.As(err, &oom) {
 		t.Fatalf("expected ErrProjectedOOM, got %v", err)
 	}
-	if oom.Error() == "" {
-		t.Error("empty error text")
+	// The message must name the input, the machine, the projected peak and
+	// the verdict — it is what the operator sees instead of the OOM killer.
+	msg := oom.Error()
+	for _, want := range []string{big.Name, platform.ServerWithCXL().Name, "projected to need", "GiB", memest.OOM.String()} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("gate message %q missing %q", msg, want)
+		}
 	}
-	// SkipMemCheck reproduces stock AF3 (no gate).
-	if _, err := s.RunPipeline(big, platform.ServerWithCXL(), PipelineOptions{Threads: 8, SkipMemCheck: true}); err != nil {
-		t.Errorf("SkipMemCheck run failed: %v", err)
+	if oom.Estimate.Verdict != memest.OOM || oom.Estimate.PeakBytes <= platform.ServerWithCXL().TotalMemBytes() {
+		t.Errorf("estimate not a real OOM projection: %+v", oom.Estimate)
+	}
+	// SkipMemCheck reproduces stock AF3 (no gate): the run proceeds and
+	// still carries the failing estimate for the caller to inspect.
+	skipped, err := s.RunPipeline(big, platform.ServerWithCXL(), PipelineOptions{Threads: 8, SkipMemCheck: true})
+	if err != nil {
+		t.Fatalf("SkipMemCheck run failed: %v", err)
+	}
+	if skipped.Memory.Verdict != memest.OOM {
+		t.Errorf("gated-off run lost its estimate: %+v", skipped.Memory)
+	}
+	// A run the estimator clears must carry the OK verdict through the
+	// same field (the other branch of the gate).
+	small, _ := inputs.ByName("2PV7")
+	ok, err := s.RunPipeline(small, platform.Server(), PipelineOptions{Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Memory.Verdict == memest.OOM {
+		t.Errorf("2PV7 flagged OOM: %+v", ok.Memory)
 	}
 }
 

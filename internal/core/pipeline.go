@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"afsysbench/internal/inputs"
 	"afsysbench/internal/memest"
 	"afsysbench/internal/msa"
 	"afsysbench/internal/parallel"
 	"afsysbench/internal/platform"
+	"afsysbench/internal/resilience"
+	"afsysbench/internal/rng"
 	"afsysbench/internal/seqdb"
 	"afsysbench/internal/simgpu"
 	"afsysbench/internal/simhw"
@@ -26,7 +30,7 @@ type PipelineOptions struct {
 	// WarmStart skips GPU init/XLA compile (persistent model server,
 	// Section VI).
 	WarmStart bool
-	// PreloadDBs explicitly loads all databases into the page cache
+	// PreloadDBs explicitly loads the run's databases into the page cache
 	// before the MSA phase (Section VI storage optimization).
 	PreloadDBs bool
 	// Storage carries page-cache state across runs (warm caches); nil
@@ -35,6 +39,15 @@ type PipelineOptions struct {
 	// SkipMemCheck disables the Section VI estimator gate, reproducing
 	// stock AF3's behavior of running into the OOM killer.
 	SkipMemCheck bool
+	// Budget caps modeled per-stage time. MSA exhaustion triggers the
+	// degradation ladder; inference exhaustion returns ErrStageTimeout.
+	Budget resilience.StageBudget
+	// Faults is the injected fault specification for this run (see
+	// resilience.ParseFaults). Empty injects nothing.
+	Faults resilience.Faults
+	// Retry tunes transient-fault handling; the zero value means the
+	// standard capped-exponential policy.
+	Retry resilience.RetryPolicy
 }
 
 // PipelineResult is the end-to-end outcome for one sample on one machine.
@@ -57,6 +70,10 @@ type PipelineResult struct {
 
 	// Memory estimate (Section VI pre-check).
 	Memory memest.Estimate
+
+	// Resilience is the retry/degradation accounting: every backoff wait,
+	// dropped database and ladder rung taken to finish the run.
+	Resilience resilience.Report
 }
 
 // TotalSeconds returns end-to-end wall time.
@@ -103,6 +120,22 @@ func (o PipelineOptions) ComputePool() *parallel.Pool {
 // RunPipeline executes the full AF3 pipeline for one sample on one machine
 // at one thread count, returning phase times and counters.
 func (s *Suite) RunPipeline(in *inputs.Input, mach platform.Machine, opts PipelineOptions) (*PipelineResult, error) {
+	return s.RunPipelineCtx(context.Background(), in, mach, opts)
+}
+
+// RunPipelineCtx is RunPipeline with cancellation and fault tolerance. The
+// context is the wall-clock deadline: it is observed between stages and
+// deep inside the MSA scan, and an expiry surfaces as ErrStageTimeout
+// wrapping the context error. Injected faults (opts.Faults) are absorbed
+// where possible: transient read failures retry under opts.Retry with
+// deterministic jittered backoff, and a database that stays dark — or an
+// MSA plan that cannot fit opts.Budget — degrades the run down the ladder
+// (drop the database, then single-sequence inference) instead of failing
+// it. Everything taken is recorded in the result's Resilience report.
+func (s *Suite) RunPipelineCtx(ctx context.Context, in *inputs.Input, mach platform.Machine, opts PipelineOptions) (*PipelineResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Threads <= 0 {
 		opts.Threads = 8
 	}
@@ -118,35 +151,32 @@ func (s *Suite) RunPipeline(in *inputs.Input, mach platform.Machine, opts Pipeli
 		return nil, ErrProjectedOOM{Estimate: res.Memory}
 	}
 
-	// MSA phase: real searches, replayed on the machine model.
-	msaRes, err := s.MSAResult(in, opts.Threads)
-	if err != nil {
-		return nil, err
-	}
-	res.MSAData = msaRes
-	res.MSACPU = simhw.Simulate(msa.BuildRunSpec(mach, msaRes))
-	res.MSACPUSeconds = res.MSACPU.Seconds * s.jitter(in.Name, opts.RunIndex, 0.02)
+	pol := opts.Retry.WithDefaults()
+	inj := resilience.NewInjector(opts.Faults, s.resilienceSource(in.Name, opts.RunIndex))
 
-	// Storage: stream every database pass through the page cache.
 	storage := opts.Storage
 	if storage == nil {
 		storage = newStorage(in, mach, opts.Threads)
 	}
-	if opts.PreloadDBs {
-		s.preload(storage)
+	if inj != nil {
+		storage.SetFaultFunc(func(name string, attempt int, _ int64) error {
+			return inj.ReadFault(name, attempt)
+		})
+		defer storage.SetFaultFunc(nil)
 	}
-	res.MSADiskSeconds = s.streamDatabases(storage, msaRes)
-	// The scan pipeline overlaps compute with NVMe streaming; whichever
-	// side is slower bounds the phase (Section V-B2c: the desktop's disk
-	// runs at 100% utilization without degrading the pipeline).
-	res.MSASeconds = res.MSACPUSeconds
-	if res.MSADiskSeconds > res.MSASeconds {
-		res.MSASeconds = res.MSADiskSeconds
+
+	// MSA phase: open the databases under the retry policy, then plan the
+	// stage down the degradation ladder until it fits.
+	needed := s.neededDBs(in)
+	active := s.openDatabases(needed, inj, pol, &res.Resilience)
+	if err := s.runMSAStage(ctx, in, mach, opts, storage, active, needed, inj, pol, res); err != nil {
+		return nil, err
 	}
-	res.DiskUtilPct = simio.UtilizationPct(res.MSADiskSeconds, res.MSASeconds)
-	res.DiskStats = storage.Stats()
 
 	// Inference phase.
+	if err := ctx.Err(); err != nil {
+		return nil, resilience.ErrStageTimeout{Stage: "inference", Cause: err}
+	}
 	host, err := s.CompileSim(mach, in.TotalResidues())
 	if err != nil {
 		return nil, err
@@ -161,32 +191,359 @@ func (s *Suite) RunPipeline(in *inputs.Input, mach platform.Machine, opts Pipeli
 	}
 	j := s.jitter(in.Name+"/inf", opts.RunIndex, 0.003)
 	pb.ComputeSeconds *= j
+	if b := opts.Budget.InferenceSeconds; b > 0 && pb.Total() > b {
+		return nil, resilience.ErrStageTimeout{
+			Stage:         "inference",
+			BudgetSeconds: b,
+			NeedSeconds:   pb.Total(),
+		}
+	}
 	res.Inference = pb
 	return res, nil
 }
 
-// streamDatabases plays every recorded database pass through the storage
-// model, returning total disk busy seconds.
-func (s *Suite) streamDatabases(storage *simio.System, msaRes *msa.Result) float64 {
-	var disk float64
-	// Streamed maps name -> total bytes over all passes; replay passes of
-	// the per-pass modeled size so cache hits between passes count.
+// runMSAStage plans and commits the MSA phase. Each ladder iteration costs
+// one candidate database profile — real searches (cached per profile),
+// the machine-model replay, and a streaming trial on a page-cache clone —
+// and either accepts it or sheds a database and re-plans. Rejected plans
+// leave the live storage untouched; the accepted plan is replayed on it.
+func (s *Suite) runMSAStage(ctx context.Context, in *inputs.Input, mach platform.Machine, opts PipelineOptions, storage *simio.System, active []*seqdb.DB, needed map[string]bool, inj *resilience.Injector, pol resilience.RetryPolicy, res *PipelineResult) error {
+	rep := &res.Resilience
+	if opts.PreloadDBs {
+		s.preload(storage, active)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return resilience.ErrStageTimeout{Stage: "msa", Cause: err}
+		}
+		msaRes, err := s.msaResultFor(ctx, in, opts.Threads, s.reducedDBSet(active), s.dbSignature(active))
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return resilience.ErrStageTimeout{Stage: "msa", Cause: ctxErr}
+			}
+			return err
+		}
+		cpuSim := simhw.Simulate(msa.BuildRunSpec(mach, msaRes))
+		cpu := cpuSim.Seconds * s.jitter(in.Name, opts.RunIndex, 0.02)
+		stall := inj.StallSeconds()
+
+		// Cost the candidate on a clone so a rejected plan cannot disturb
+		// the live page cache; trial-side events are discarded (the accepted
+		// plan's replay records them once, identically).
+		scratch := &resilience.Report{}
+		disk, ceiling, err := s.streamDatabases(ctx, storage.Clone(), msaRes, active, mach, inj, pol, scratch)
+		if err != nil {
+			return err
+		}
+		if ceiling {
+			rep.Degraded = true
+			rep.Record(resilience.Event{
+				Stage: "stream", Kind: resilience.KindMemCeiling,
+				Detail: fmt.Sprintf("anonymous-memory spike would breach the machine's %d GiB; abandoning the deep MSA", mach.TotalMemBytes()>>30),
+			})
+			active = dropNeeded(active, needed, rep)
+			continue
+		}
+		wall := cpu + stall
+		if disk > wall {
+			wall = disk
+		}
+		wall += rep.RetrySeconds
+		if b := opts.Budget.MSASeconds; b > 0 && wall > b {
+			if victim := largestStreamed(active, needed, msaRes); victim != "" {
+				active = removeDB(active, victim)
+				rep.DroppedDBs = append(rep.DroppedDBs, victim)
+				rep.Degraded = true
+				rep.Record(resilience.Event{
+					Stage: "msa", Kind: resilience.KindBudgetDrop, DB: victim,
+					Detail: fmt.Sprintf("plan needs %.0fs against a %.0fs budget; shedding the largest stream", wall, b),
+				})
+				continue
+			}
+			rep.Record(resilience.Event{
+				Stage: "msa", Kind: resilience.KindBudgetOverrun, Seconds: wall - b,
+				Detail: fmt.Sprintf("single-sequence floor still needs %.0fs against a %.0fs budget", wall, b),
+			})
+		}
+
+		// Accept: commit the plan to the live storage.
+		if stall > 0 {
+			rep.Record(resilience.Event{
+				Stage: "msa", Kind: resilience.KindStall, Seconds: stall,
+				Detail: "worker shard stalled; scan critical path extended",
+			})
+		}
+		disk, _, err = s.streamDatabases(ctx, storage, msaRes, active, mach, inj, pol, rep)
+		if err != nil {
+			return err
+		}
+		if len(needed) > 0 && countNeeded(active, needed) == 0 {
+			rep.SingleSequence = true
+			rep.Degraded = true
+			rep.Record(resilience.Event{
+				Stage: "msa", Kind: resilience.KindSingleSequence,
+				Detail: "no databases available; inference proceeds on single-sequence features",
+			})
+		}
+		res.MSAData = msaRes
+		res.MSACPU = cpuSim
+		res.MSACPUSeconds = cpu
+		res.MSADiskSeconds = disk
+		// The scan pipeline overlaps compute with NVMe streaming; whichever
+		// side is slower bounds the phase (Section V-B2c: the desktop's disk
+		// runs at 100% utilization without degrading the pipeline). Backoff
+		// waits overlap neither and are charged on top.
+		res.MSASeconds = cpu + stall
+		if disk > res.MSASeconds {
+			res.MSASeconds = disk
+		}
+		res.MSASeconds += rep.RetrySeconds
+		res.DiskUtilPct = simio.UtilizationPct(disk, res.MSASeconds)
+		res.DiskStats = storage.Stats()
+		return nil
+	}
+}
+
+// neededDBs returns the names of the databases the input's chains search.
+func (s *Suite) neededDBs(in *inputs.Input) map[string]bool {
+	needed := make(map[string]bool)
+	for _, c := range in.MSAChains() {
+		for _, db := range s.DBs.For(c.Sequence.Type) {
+			needed[db.Name] = true
+		}
+	}
+	return needed
+}
+
+// openDatabases probes every database the input needs under the retry
+// policy, consuming injected faults at open time so each database is either
+// fully available to the scan or dropped before it starts. Databases the
+// input never searches pass through unprobed.
+func (s *Suite) openDatabases(needed map[string]bool, inj *resilience.Injector, pol resilience.RetryPolicy, rep *resilience.Report) []*seqdb.DB {
+	if inj == nil {
+		return s.allDBs()
+	}
+	var active []*seqdb.DB
 	for _, db := range s.allDBs() {
+		if !needed[db.Name] {
+			active = append(active, db)
+			continue
+		}
+		var bo *rng.Source
+		var lastErr error
+		attempts := 0
+		for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+			attempts = attempt
+			err := inj.ReadFault(db.Name, attempt)
+			if err == nil {
+				lastErr = nil
+				break
+			}
+			lastErr = err
+			if resilience.IsPermanent(err) || attempt == pol.MaxAttempts {
+				break
+			}
+			if bo == nil {
+				bo = inj.BackoffSource(db.Name)
+			}
+			d := pol.Backoff(attempt, bo)
+			rep.Retries++
+			rep.RetrySeconds += d
+			rep.Record(resilience.Event{
+				Stage: "msa", Kind: resilience.KindRetry, DB: db.Name, Seconds: d,
+				Detail: fmt.Sprintf("open attempt %d failed; backing off", attempt),
+			})
+		}
+		if lastErr == nil {
+			active = append(active, db)
+			continue
+		}
+		rep.DroppedDBs = append(rep.DroppedDBs, db.Name)
+		rep.Degraded = true
+		cause := resilience.ErrDBUnavailable{DB: db.Name, Attempts: attempts, Cause: lastErr}
+		rep.Record(resilience.Event{
+			Stage: "msa", Kind: resilience.KindDropDB, DB: db.Name,
+			Detail: cause.Error(),
+		})
+	}
+	return active
+}
+
+// streamDatabases plays every recorded database pass through the storage
+// model, returning total disk busy seconds. The per-database total replays
+// as full passes of the modeled size plus one final partial pass for the
+// remainder, so cache hits between passes count and no streamed bytes are
+// dropped. Mid-stream faults retry under the policy; memory spikes fire
+// between databases, and a spike past the machine's capacity reports
+// ceiling=true with the stream abandoned.
+func (s *Suite) streamDatabases(ctx context.Context, storage *simio.System, msaRes *msa.Result, active []*seqdb.DB, mach platform.Machine, inj *resilience.Injector, pol resilience.RetryPolicy, rep *resilience.Report) (float64, bool, error) {
+	var disk float64
+	streamed := 0
+	for _, db := range active {
 		total := msaRes.Streamed[db.Name]
 		if total == 0 {
 			continue
 		}
-		passes := int(total / db.ModeledBytes())
-		for p := 0; p < passes; p++ {
-			disk += storage.ReadSequential(db.Name, db.ModeledBytes()).DiskSeconds
+		per := db.ModeledBytes()
+		for off := int64(0); off < total; off += per {
+			if err := ctx.Err(); err != nil {
+				return disk, false, resilience.ErrStageTimeout{Stage: "msa", Cause: err}
+			}
+			size := per
+			if rem := total - off; rem < per {
+				size = rem // the final partial pass
+			}
+			sec, dead := s.streamPass(storage, db.Name, size, inj, pol, rep)
+			disk += sec
+			if dead {
+				break
+			}
 		}
+		if spike := inj.MemSpike(streamed); spike > 0 {
+			storage.SetReserved(storage.Reserved() + spike)
+			if storage.Reserved() > mach.TotalMemBytes() {
+				return disk, true, nil
+			}
+			rep.Record(resilience.Event{
+				Stage: "stream", Kind: resilience.KindMemSpike,
+				Detail: fmt.Sprintf("anonymous memory +%d GiB; later passes squeeze the page cache", spike>>30),
+			})
+		}
+		streamed++
 	}
-	return disk
+	return disk, false, nil
 }
 
-// preload fetches every database into the page cache (Section VI).
-func (s *Suite) preload(storage *simio.System) {
-	for _, db := range s.allDBs() {
+// streamPass is one pass of one database through the storage model under
+// the retry policy. Mid-stream faults are rare — open-time probing consumes
+// the injected budgets — but a database can still go dark here; the pass
+// then records the drop and returns dead=true so the caller stops replaying
+// it (its hits are already recruited; only the remaining re-reads vanish).
+func (s *Suite) streamPass(storage *simio.System, name string, bytes int64, inj *resilience.Injector, pol resilience.RetryPolicy, rep *resilience.Report) (float64, bool) {
+	var sec float64
+	var bo *rng.Source
+	for attempt := 1; ; attempt++ {
+		r, err := storage.TryReadSequential(name, bytes)
+		sec += r.DiskSeconds
+		if err == nil {
+			return sec, false
+		}
+		if resilience.IsPermanent(err) || attempt >= pol.MaxAttempts {
+			rep.DroppedDBs = append(rep.DroppedDBs, name)
+			rep.Degraded = true
+			cause := resilience.ErrDBUnavailable{DB: name, Attempts: attempt, Cause: err}
+			rep.Record(resilience.Event{
+				Stage: "stream", Kind: resilience.KindDropDB, DB: name,
+				Detail: cause.Error(),
+			})
+			return sec, true
+		}
+		if bo == nil {
+			bo = inj.BackoffSource(name)
+		}
+		d := pol.Backoff(attempt, bo)
+		rep.Retries++
+		rep.RetrySeconds += d
+		rep.Record(resilience.Event{
+			Stage: "stream", Kind: resilience.KindRetry, DB: name, Seconds: d,
+			Detail: fmt.Sprintf("read attempt %d failed; backing off", attempt),
+		})
+	}
+}
+
+// reducedDBSet filters the suite's databases to the active set, preserving
+// catalog order.
+func (s *Suite) reducedDBSet(active []*seqdb.DB) *msa.DBSet {
+	on := make(map[string]bool, len(active))
+	for _, db := range active {
+		on[db.Name] = true
+	}
+	set := &msa.DBSet{}
+	for _, db := range s.DBs.Protein {
+		if on[db.Name] {
+			set.Protein = append(set.Protein, db)
+		}
+	}
+	for _, db := range s.DBs.RNA {
+		if on[db.Name] {
+			set.RNA = append(set.RNA, db)
+		}
+	}
+	return set
+}
+
+// dbSignature names a database profile for the MSA result cache.
+func (s *Suite) dbSignature(active []*seqdb.DB) string {
+	if len(active) == len(s.DBs.Protein)+len(s.DBs.RNA) {
+		return "full"
+	}
+	if len(active) == 0 {
+		return "none"
+	}
+	names := make([]string, len(active))
+	for i, db := range active {
+		names[i] = db.Name
+	}
+	return strings.Join(names, "+")
+}
+
+// removeDB returns dbs without the named database, order preserved.
+func removeDB(dbs []*seqdb.DB, name string) []*seqdb.DB {
+	out := make([]*seqdb.DB, 0, len(dbs))
+	for _, db := range dbs {
+		if db.Name != name {
+			out = append(out, db)
+		}
+	}
+	return out
+}
+
+// dropNeeded removes every database the input searches — the memory-ceiling
+// response: the deep MSA is abandoned wholesale rather than letting the OOM
+// killer pick a victim mid-stream.
+func dropNeeded(dbs []*seqdb.DB, needed map[string]bool, rep *resilience.Report) []*seqdb.DB {
+	out := make([]*seqdb.DB, 0, len(dbs))
+	for _, db := range dbs {
+		if needed[db.Name] {
+			rep.DroppedDBs = append(rep.DroppedDBs, db.Name)
+			continue
+		}
+		out = append(out, db)
+	}
+	return out
+}
+
+// countNeeded counts active databases the input actually searches.
+func countNeeded(dbs []*seqdb.DB, needed map[string]bool) int {
+	n := 0
+	for _, db := range dbs {
+		if needed[db.Name] {
+			n++
+		}
+	}
+	return n
+}
+
+// largestStreamed picks the budget ladder's victim: the active database
+// with the most streamed bytes (catalog order breaks ties). Empty string
+// when nothing is left to shed.
+func largestStreamed(dbs []*seqdb.DB, needed map[string]bool, msaRes *msa.Result) string {
+	var name string
+	var best int64
+	for _, db := range dbs {
+		if !needed[db.Name] {
+			continue
+		}
+		if b := msaRes.Streamed[db.Name]; b > best {
+			best, name = b, db.Name
+		}
+	}
+	return name
+}
+
+// preload fetches the run's databases into the page cache (Section VI).
+func (s *Suite) preload(storage *simio.System, dbs []*seqdb.DB) {
+	for _, db := range dbs {
 		storage.Preload(db.Name, db.ModeledBytes())
 	}
 }

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -61,14 +62,23 @@ func NewSuite() (*Suite, error) {
 // MSAResult runs (or returns the cached) MSA phase for a sample at a thread
 // count. The result is platform-independent: the machine models replay it.
 func (s *Suite) MSAResult(in *inputs.Input, threads int) (*msa.Result, error) {
-	key := fmt.Sprintf("%s/%d", in.Name, threads)
+	return s.msaResultFor(context.Background(), in, threads, s.DBs, "full")
+}
+
+// msaResultFor runs (or returns the cached) MSA phase against a specific
+// database profile. sig names the profile in the cache key: the degradation
+// ladder re-plans the stage against reduced sets, and a result computed
+// with a dropped database must never be served for the full profile (or
+// vice versa).
+func (s *Suite) msaResultFor(ctx context.Context, in *inputs.Input, threads int, dbs *msa.DBSet, sig string) (*msa.Result, error) {
+	key := fmt.Sprintf("%s/%d/%s", in.Name, threads, sig)
 	s.mu.Lock()
 	cached, ok := s.msaCache[key]
 	s.mu.Unlock()
 	if ok {
 		return cached, nil
 	}
-	res, err := msa.Run(in, msa.Options{Threads: threads, DBs: s.DBs})
+	res, err := msa.RunCtx(ctx, in, msa.Options{Threads: threads, DBs: dbs, AllowMissingDB: true})
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +197,17 @@ func (s *Suite) jitter(sample string, runIdx int, magnitude float64) float64 {
 	}
 	src = src.Split(uint64(runIdx))
 	return 1 + magnitude*(2*src.Float64()-1)
+}
+
+// resilienceSource derives the fault-injection/backoff source for one run.
+// It follows jitter's (seed, sample, run index) split path with one extra
+// distinct key so backoff draws never correlate with timing noise.
+func (s *Suite) resilienceSource(sample string, runIdx int) *rng.Source {
+	src := rng.New(s.Seed)
+	for _, c := range []byte(sample) {
+		src = src.Split(uint64(c))
+	}
+	return src.Split(uint64(runIdx)).Split(0xFA)
 }
 
 // memVerdict pre-checks a run the way the Section VI estimator proposes.

@@ -1,6 +1,7 @@
 package hmmer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -225,6 +226,14 @@ func (idx *seedIndex) candidates(target *seq.Sequence, minSeeds, maxDiag, mergeD
 // database; hits below the inclusion threshold are stacked into an
 // alignment from which the next round's profile is built.
 func SearchProtein(query *seq.Sequence, src func() RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
+	return SearchProteinCtx(context.Background(), query, src, dbResidues, opts, m)
+}
+
+// SearchProteinCtx is SearchProtein with cancellation: the context is
+// observed between iteration rounds and every few records inside the scan,
+// so a cancelled search returns promptly with ctx's error instead of
+// finishing the remaining rounds.
+func SearchProteinCtx(ctx context.Context, query *seq.Sequence, src func() RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
 	if query.Type != seq.Protein {
 		return nil, fmt.Errorf("hmmer: SearchProtein requires a protein query, got %v", query.Type)
 	}
@@ -238,7 +247,10 @@ func SearchProtein(query *seq.Sequence, src func() RecordSource, dbResidues int,
 	}
 	var res *Result
 	for round := 0; round < opts.Iterations; round++ {
-		res, err = scanDB(profile, query, src(), dbResidues, opts, m)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err = scanDB(ctx, profile, query, src(), dbResidues, opts, m)
 		if err != nil {
 			return nil, err
 		}
@@ -263,6 +275,12 @@ func SearchProtein(query *seq.Sequence, src func() RecordSource, dbResidues int,
 // candidate state is what makes long-query nucleotide search memory-hungry
 // (Fig. 2 in the paper).
 func SearchNucleotide(query *seq.Sequence, src func() RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
+	return SearchNucleotideCtx(context.Background(), query, src, dbResidues, opts, m)
+}
+
+// SearchNucleotideCtx is SearchNucleotide with cancellation (see
+// SearchProteinCtx).
+func SearchNucleotideCtx(ctx context.Context, query *seq.Sequence, src func() RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
 	if query.Type != seq.RNA && query.Type != seq.DNA {
 		return nil, fmt.Errorf("hmmer: SearchNucleotide requires RNA or DNA, got %v", query.Type)
 	}
@@ -274,7 +292,7 @@ func SearchNucleotide(query *seq.Sequence, src func() RecordSource, dbResidues i
 	if err != nil {
 		return nil, err
 	}
-	res, err := scanDB(profile, query, src(), dbResidues, opts, m)
+	res, err := scanDB(ctx, profile, query, src(), dbResidues, opts, m)
 	if err != nil {
 		return nil, err
 	}
@@ -288,11 +306,18 @@ func SearchNucleotide(query *seq.Sequence, src func() RecordSource, dbResidues i
 // returned results (see the msa package); iteration across rounds stays
 // with the caller.
 func ScanRecords(p *Profile, query *seq.Sequence, src RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
+	return ScanRecordsCtx(context.Background(), p, query, src, dbResidues, opts, m)
+}
+
+// ScanRecordsCtx is ScanRecords with cancellation: ctx is checked every
+// few records, so a worker shard of a cancelled MSA scan abandons its
+// remaining records instead of finishing the pass.
+func ScanRecordsCtx(ctx context.Context, p *Profile, query *seq.Sequence, src RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
 	opts = opts.withDefaults(query.Type)
 	if m == nil {
 		m = metering.Nop{}
 	}
-	return scanDB(p, query, src, dbResidues, opts, m)
+	return scanDB(ctx, p, query, src, dbResidues, opts, m)
 }
 
 // BuildHitAlignment stacks hits below the inclusion threshold into
@@ -340,8 +365,11 @@ func MergeResults(query string, parts []*Result) *Result {
 }
 
 // scanDB is the shared inner loop: stream records through the buffering
-// layer, seed-filter, DP candidates, Forward-score survivors.
-func scanDB(p *Profile, query *seq.Sequence, src RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
+// layer, seed-filter, DP candidates, Forward-score survivors. The context
+// is polled every ctxCheckStride records — cheap enough to be invisible,
+// frequent enough that cancellation lands mid-shard, not at shard end.
+func scanDB(ctx context.Context, p *Profile, query *seq.Sequence, src RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
+	const ctxCheckStride = 32
 	buf := NewBuffer(src, opts.DBFootprint, m)
 	idx := buildSeedIndex(query, opts.SeedK)
 	res := &Result{Query: query.ID}
@@ -351,6 +379,11 @@ func scanDB(p *Profile, query *seq.Sequence, src RecordSource, dbResidues int, o
 			break
 		}
 		res.Scanned++
+		if res.Scanned%ctxCheckStride == 1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Long nucleotide targets go through the windowed nhmmer path.
 		if query.Type != seq.Protein && target.Len() > longTargetThreshold(query.Len()) {
 			wres := scanLongTarget(p, query, target, idx, dbResidues, opts, m)

@@ -1,6 +1,8 @@
 package hmmer
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -369,4 +371,67 @@ func TestReportAllDomainsFindsBothSegments(t *testing.T) {
 	if gap < 200 {
 		t.Errorf("domain diagonals %d and %d too close", d0, d1)
 	}
+}
+
+func TestSearchCtxCancellation(t *testing.T) {
+	g := seq.NewGenerator(rng.New(5))
+	query := g.Random("q", seq.Protein, 120)
+	db := makeDB(t, seqdb.Spec{Name: "ctxdb", Type: seq.Protein, NumSeqs: 200, MeanLen: 150, Seed: 11})
+
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A pre-cancelled context aborts before any round.
+	if _, err := SearchProteinCtx(done, query, sliceSrc(db), db.TotalResidues(), SearchOptions{Iterations: 2}, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("SearchProteinCtx err = %v", err)
+	}
+	prof, err := BuildFromQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScanRecordsCtx(done, prof, query, &SliceSource{Seqs: db.Seqs}, db.TotalResidues(), SearchOptions{}, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("ScanRecordsCtx err = %v", err)
+	}
+	rna := g.Random("r", seq.RNA, 80)
+	rdb := makeDB(t, seqdb.Spec{Name: "ctxrna", Type: seq.RNA, NumSeqs: 50, MeanLen: 120, Seed: 12})
+	if _, err := SearchNucleotideCtx(done, rna, sliceSrc(rdb), rdb.TotalResidues(), SearchOptions{}, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("SearchNucleotideCtx err = %v", err)
+	}
+
+	// Mid-scan cancellation: cancel from inside the record stream and
+	// verify the scan stops within one ctx-check stride (32 records).
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	streamed := 0
+	src := &cancellingSource{inner: &SliceSource{Seqs: db.Seqs}, after: 10, cancel: cancel2, n: &streamed}
+	if _, err := ScanRecordsCtx(ctx2, prof, query, src, db.TotalResidues(), SearchOptions{}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-scan err = %v", err)
+	}
+	if streamed > 10+32 {
+		t.Errorf("scan consumed %d records after cancellation at 10", streamed)
+	}
+
+	// The background-context wrappers still complete normally.
+	res, err := SearchProtein(query, sliceSrc(db), db.TotalResidues(), SearchOptions{Iterations: 1}, nil)
+	if err != nil || res == nil {
+		t.Fatalf("uncancelled search failed: %v", err)
+	}
+}
+
+// cancellingSource cancels a context after streaming `after` records.
+type cancellingSource struct {
+	inner  RecordSource
+	after  int
+	cancel context.CancelFunc
+	n      *int
+}
+
+func (c *cancellingSource) Next() (*seq.Sequence, bool) {
+	s, ok := c.inner.Next()
+	if ok {
+		*c.n++
+		if *c.n == c.after {
+			c.cancel()
+		}
+	}
+	return s, ok
 }

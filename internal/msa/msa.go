@@ -1,6 +1,7 @@
 package msa
 
 import (
+	"context"
 	"fmt"
 
 	"afsysbench/internal/hmmer"
@@ -28,6 +29,11 @@ type Options struct {
 	// 2PV7 MSA phase lands at the paper's Figure 3 scale. Zero means the
 	// calibrated default.
 	WorkCalibration float64
+	// AllowMissingDB lets a chain whose molecule type has no databases
+	// left proceed as a single-sequence alignment (depth 1, no hits)
+	// instead of failing the run — the degradation ladder's contract when
+	// databases have been dropped from the profile.
+	AllowMissingDB bool
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +88,14 @@ type Result struct {
 // search the matching databases with Threads workers sharding each
 // database, iterating protein profiles Rounds times.
 func Run(in *inputs.Input, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), in, opts)
+}
+
+// RunCtx is Run with cancellation: the context is observed between chains,
+// between iteration rounds, between databases, and every few records
+// inside each worker shard, so a cancelled MSA phase stops within one
+// shard's stride rather than finishing the fan-out.
+func RunCtx(ctx context.Context, in *inputs.Input, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if opts.DBs == nil {
 		return nil, fmt.Errorf("msa: no databases configured")
@@ -100,7 +114,10 @@ func Run(in *inputs.Input, opts Options) (*Result, error) {
 
 	var perChainHits [][]hmmer.Hit
 	for _, chain := range in.MSAChains() {
-		cr, hits, err := runChain(chain, opts, res)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cr, hits, err := runChain(ctx, chain, opts, res)
 		if err != nil {
 			return nil, fmt.Errorf("msa %s chain %s: %w", in.Name, chain.IDs[0], err)
 		}
@@ -125,11 +142,17 @@ func Run(in *inputs.Input, opts Options) (*Result, error) {
 
 // runChain searches all matching databases for one chain, returning its
 // summary and the final round's hit list (for cross-chain pairing).
-func runChain(chain inputs.Chain, opts Options, res *Result) (ChainResult, []hmmer.Hit, error) {
+func runChain(ctx context.Context, chain inputs.Chain, opts Options, res *Result) (ChainResult, []hmmer.Hit, error) {
 	query := chain.Sequence
 	cr := ChainResult{ChainID: chain.IDs[0], Type: query.Type}
 	dbs := opts.DBs.For(query.Type)
 	if len(dbs) == 0 {
+		if opts.AllowMissingDB {
+			// Degraded profile: the chain proceeds with only its own
+			// sequence (alignment depth 1, nothing scanned or streamed).
+			cr.Rows = 1
+			return cr, nil, nil
+		}
 		return cr, nil, fmt.Errorf("no databases for molecule type %v", query.Type)
 	}
 	rounds := opts.Rounds
@@ -145,7 +168,10 @@ func runChain(chain inputs.Chain, opts Options, res *Result) (ChainResult, []hmm
 	for round := 0; round < rounds; round++ {
 		var allHits []hmmer.Hit
 		for _, db := range dbs {
-			merged, err := scanParallel(profile, query, db, opts, res)
+			if err := ctx.Err(); err != nil {
+				return cr, nil, err
+			}
+			merged, err := scanParallel(ctx, profile, query, db, opts, res)
 			if err != nil {
 				return cr, nil, err
 			}
@@ -197,18 +223,21 @@ func inclusionE(opts Options) float64 {
 // because the shard count is semantic here: shard w's events must land in
 // res.Workers[w] for per-thread attribution, even when Threads exceeds the
 // machine's core count.
-func scanParallel(profile *hmmer.Profile, query *seq.Sequence, db *seqdb.DB, opts Options, res *Result) (*hmmer.Result, error) {
+func scanParallel(ctx context.Context, profile *hmmer.Profile, query *seq.Sequence, db *seqdb.DB, opts Options, res *Result) (*hmmer.Result, error) {
 	t := opts.Threads
 	searchOpts := opts.Search
 	searchOpts.DBFootprint = uint64(db.ModeledBytes())
 
 	parts := make([]*hmmer.Result, t)
 	errs := make([]error, t)
-	parallel.Shards(t, len(db.Seqs), func(w, lo, hi int) {
+	ctxErr := parallel.ShardsCtx(ctx, t, len(db.Seqs), func(w, lo, hi int) {
 		meter := metering.Scaled(res.Workers[w], db.ScaleFactor*opts.WorkCalibration)
 		src := &hmmer.SliceSource{Seqs: db.Seqs[lo:hi]}
-		parts[w], errs[w] = hmmer.ScanRecords(profile, query, src, db.TotalResidues(), searchOpts, meter)
+		parts[w], errs[w] = hmmer.ScanRecordsCtx(ctx, profile, query, src, db.TotalResidues(), searchOpts, meter)
 	})
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

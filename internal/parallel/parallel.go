@@ -9,6 +9,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -150,6 +151,79 @@ func (p *Pool) Run(n int, fn func(shard, lo, hi int)) {
 	}
 }
 
+// RunCtx is Run with cancellation: once ctx is done, no further shard
+// starts — undistributed shards are never dispatched, and shards still
+// queued behind busy workers are skipped (their goroutine observes the
+// cancellation before invoking fn). Shards already executing run to
+// completion; a cancelled call therefore returns within one shard's work.
+// RunCtx returns ctx.Err() (nil on a full, uncancelled fan-out).
+//
+// The determinism contract is Run's: when RunCtx completes with a nil
+// error, every shard executed exactly once and results are bitwise
+// identical at any worker count. A non-nil return means the output is
+// partial and must be discarded.
+func (p *Pool) RunCtx(ctx context.Context, n int, fn func(shard, lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	shards := p.Workers()
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fn(0, 0, n)
+		return ctx.Err()
+	}
+	done := ctx.Done()
+	guarded := func(shard, lo, hi int) {
+		select {
+		case <-done:
+		default:
+			fn(shard, lo, hi)
+		}
+	}
+	var pending atomic.Int32
+	for s := shards - 1; s >= 1; s-- {
+		if ctx.Err() != nil {
+			break // stop dispatching; already-queued shards self-skip
+		}
+		lo, hi := span(n, s, shards)
+		pending.Add(1)
+		j := job{fn: guarded, shard: s, lo: lo, hi: hi, pending: &pending}
+		select {
+		case p.jobs <- j:
+		default:
+			j.fn(j.shard, j.lo, j.hi)
+			pending.Add(-1)
+		}
+	}
+	if ctx.Err() == nil {
+		lo, hi := span(n, 0, shards)
+		fn(0, lo, hi)
+	}
+	// Same drain-while-waiting discipline as Run; drained jobs from this
+	// call are guarded and skip themselves once ctx is done.
+	for pending.Load() > 0 {
+		select {
+		case j, ok := <-p.jobs:
+			if !ok {
+				for pending.Load() > 0 {
+					runtime.Gosched()
+				}
+				return ctx.Err()
+			}
+			j.fn(j.shard, j.lo, j.hi)
+			j.pending.Add(-1)
+		default:
+			runtime.Gosched()
+		}
+	}
+	return ctx.Err()
+}
+
 // span returns the s-th of `shards` contiguous ranges of [0,n) — the same
 // arithmetic the MSA scan has always used, so shard boundaries are stable
 // across the codebase.
@@ -184,6 +258,47 @@ func Shards(shards, n int, fn func(shard, lo, hi int)) {
 		}(s, lo, hi)
 	}
 	wg.Wait()
+}
+
+// ShardsCtx is Shards with cancellation: shards whose goroutine observes a
+// done ctx before starting fn are skipped, and no new shard is spawned
+// after cancellation, so a cancelled scan stops within the work already in
+// flight instead of finishing the fan-out. Returns ctx.Err(); on a non-nil
+// return the decomposition is partial and per-shard outputs must be
+// discarded.
+func ShardsCtx(ctx context.Context, shards, n int, fn func(shard, lo, hi int)) error {
+	if n <= 0 || shards <= 0 {
+		return ctx.Err()
+	}
+	if shards == 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fn(0, 0, n)
+		return ctx.Err()
+	}
+	done := ctx.Done()
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		if ctx.Err() != nil {
+			break
+		}
+		lo, hi := span(n, s, shards)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			select {
+			case <-done:
+			default:
+				fn(s, lo, hi)
+			}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 var (

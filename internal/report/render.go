@@ -288,3 +288,31 @@ func sampleByName(name string) ([]string, error) {
 		fmt.Sprintf("%.2f", in.MaxLowComplexity()),
 	}, nil
 }
+
+// RenderPipelineRun prints one end-to-end pipeline run — phase times, disk
+// counters, the memory verdict and, when anything went wrong on the way,
+// the resilience report (retries, dropped databases, degradation events).
+func RenderPipelineRun(w io.Writer, pr *core.PipelineResult) error {
+	fmt.Fprintf(w, "%s on %s (%d threads)\n", pr.Sample, pr.Machine, pr.Threads)
+	rows := [][]string{
+		{"MSA", F1(pr.MSASeconds), fmt.Sprintf("cpu %s, disk %s, util %s%%",
+			F1(pr.MSACPUSeconds), F1(pr.MSADiskSeconds), F0(pr.DiskUtilPct))},
+		{"inference", F1(pr.Inference.Total()), fmt.Sprintf("compute %s", F1(pr.Inference.ComputeSeconds))},
+		{"total", F1(pr.TotalSeconds()), fmt.Sprintf("MSA share %s%%", F0(100*pr.MSAFraction()))},
+	}
+	if err := Table(w, []string{"phase", "seconds", "detail"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "memory: projected %.0f GiB, verdict %s\n",
+		float64(pr.Memory.PeakBytes)/(1<<30), pr.Memory.Verdict)
+	fmt.Fprintf(w, "disk:   %s\n", pr.DiskStats.String())
+	rep := pr.Resilience
+	if rep.Retries == 0 && !rep.Degraded && len(rep.Events) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "resilience: %s\n", rep.String())
+	for _, e := range rep.Events {
+		fmt.Fprintf(w, "  %s\n", e.String())
+	}
+	return nil
+}

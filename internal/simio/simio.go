@@ -30,7 +30,19 @@ type System struct {
 	readBytes   int64
 	busySeconds float64
 	requests    int64
+	failedReads int64
+
+	// fault, when set, is consulted before each TryReadSequential attempt
+	// (the resilience layer's injection point). attempts counts per-dataset
+	// read attempts so the hook can distinguish first touch from retry.
+	fault    FaultFunc
+	attempts map[string]int
 }
+
+// FaultFunc decides the fate of one read attempt on a dataset: nil to let
+// the read proceed, or an error to fail it. attempt is 1-based and counts
+// every TryReadSequential call for that dataset over the System's life.
+type FaultFunc func(name string, attempt int, bytes int64) error
 
 // New builds the storage system for a machine. reservedBytes is anonymous
 // application memory (heap, model weights) that competes with the page
@@ -61,8 +73,39 @@ func (s *System) SetReserved(bytes int64) {
 	s.evictTo(s.CacheCapacity())
 }
 
+// Reserved returns the current anonymous-memory reservation.
+func (s *System) Reserved() int64 { return s.reserved }
+
 // Resident returns the resident bytes of a dataset.
 func (s *System) Resident(name string) int64 { return s.resident[name] }
+
+// SetFaultFunc installs (or clears, with nil) the read-fault hook.
+func (s *System) SetFaultFunc(f FaultFunc) { s.fault = f }
+
+// Clone returns an independent deep copy of the system: cache contents,
+// LRU state, counters and reservation. The degradation ladder uses clones
+// to cost candidate MSA plans without disturbing the live cache; the fault
+// hook and attempt counters are shared state of the run and are NOT copied.
+func (s *System) Clone() *System {
+	c := &System{
+		machine:     s.machine,
+		reserved:    s.reserved,
+		resident:    make(map[string]int64, len(s.resident)),
+		lastUse:     make(map[string]int64, len(s.lastUse)),
+		tick:        s.tick,
+		readBytes:   s.readBytes,
+		busySeconds: s.busySeconds,
+		requests:    s.requests,
+		failedReads: s.failedReads,
+	}
+	for k, v := range s.resident {
+		c.resident[k] = v
+	}
+	for k, v := range s.lastUse {
+		c.lastUse[k] = v
+	}
+	return c
+}
 
 // ReadResult describes one dataset scan.
 type ReadResult struct {
@@ -106,6 +149,24 @@ func (s *System) ReadSequential(name string, bytes int64) ReadResult {
 	// Admit the freshly read bytes (and keep the cached part) under LRU.
 	s.admit(name, bytes)
 	return res
+}
+
+// TryReadSequential is ReadSequential behind the fault hook: the read
+// fails (with the hook's error, no bytes streamed, no cache admission) or
+// proceeds normally. Failed attempts count in Stats.FailedReads. Without a
+// hook installed it is exactly ReadSequential.
+func (s *System) TryReadSequential(name string, bytes int64) (ReadResult, error) {
+	if s.fault != nil {
+		if s.attempts == nil {
+			s.attempts = make(map[string]int)
+		}
+		s.attempts[name]++
+		if err := s.fault(name, s.attempts[name], bytes); err != nil {
+			s.failedReads++
+			return ReadResult{}, err
+		}
+	}
+	return s.ReadSequential(name, bytes), nil
 }
 
 // Preload explicitly fetches a dataset into the cache ahead of use — the
@@ -172,11 +233,13 @@ type Stats struct {
 	ReadBytes   int64
 	BusySeconds float64
 	Requests    int64
+	// FailedReads counts read attempts the fault hook rejected.
+	FailedReads int64
 }
 
 // Stats returns the accumulated counters.
 func (s *System) Stats() Stats {
-	return Stats{ReadBytes: s.readBytes, BusySeconds: s.busySeconds, Requests: s.requests}
+	return Stats{ReadBytes: s.readBytes, BusySeconds: s.busySeconds, Requests: s.requests, FailedReads: s.failedReads}
 }
 
 // UtilizationPct returns device utilization over a wall-clock window: the
@@ -194,6 +257,10 @@ func UtilizationPct(busySeconds, wallSeconds float64) float64 {
 
 // String renders stats for logs.
 func (s Stats) String() string {
-	return fmt.Sprintf("read=%.1f GiB busy=%.1fs requests=%d",
+	out := fmt.Sprintf("read=%.1f GiB busy=%.1fs requests=%d",
 		float64(s.ReadBytes)/(1<<30), s.BusySeconds, s.Requests)
+	if s.FailedReads > 0 {
+		out += fmt.Sprintf(" failed=%d", s.FailedReads)
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package simio
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -207,5 +208,74 @@ func TestQuickWarmReadNeverSlowerThanCold(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTryReadSequentialFaultHook(t *testing.T) {
+	s := New(platform.Server(), 8*gib)
+	var calls []int
+	s.SetFaultFunc(func(name string, attempt int, bytes int64) error {
+		calls = append(calls, attempt)
+		if attempt <= 2 {
+			return fmt.Errorf("injected failure %d on %s", attempt, name)
+		}
+		return nil
+	})
+	// Two failed attempts: no bytes stream, nothing becomes resident.
+	for a := 1; a <= 2; a++ {
+		r, err := s.TryReadSequential("db", gib)
+		if err == nil {
+			t.Fatalf("attempt %d: want error", a)
+		}
+		if r.DiskSeconds != 0 || r.Bytes != 0 {
+			t.Errorf("attempt %d charged a failed read: %+v", a, r)
+		}
+	}
+	if s.Resident("db") != 0 {
+		t.Error("failed reads admitted bytes to the cache")
+	}
+	if got := s.Stats().FailedReads; got != 2 {
+		t.Errorf("FailedReads = %d, want 2", got)
+	}
+	// Third attempt succeeds and behaves like a plain cold read.
+	r, err := s.TryReadSequential("db", gib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FromDisk != gib || r.DiskSeconds <= 0 {
+		t.Errorf("successful read: %+v", r)
+	}
+	if len(calls) != 3 || calls[2] != 3 {
+		t.Errorf("attempt numbering: %v", calls)
+	}
+	// Without a hook, TryReadSequential is ReadSequential.
+	s.SetFaultFunc(nil)
+	if _, err := s.TryReadSequential("db2", gib); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.Stats().String(), "failed=2") {
+		t.Errorf("stats string omits failures: %s", s.Stats().String())
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := New(platform.Desktop(), 8*gib)
+	s.ReadSequential("a", 10*gib)
+	s.ReadSequential("b", 4*gib)
+
+	c := s.Clone()
+	if c.Stats() != s.Stats() || c.Resident("a") != s.Resident("a") || c.Reserved() != s.Reserved() {
+		t.Fatal("clone does not match source")
+	}
+	// Mutating the clone leaves the source untouched, and vice versa.
+	c.ReadSequential("c", 20*gib)
+	c.SetReserved(30 * gib)
+	if s.Resident("c") != 0 || s.Reserved() != 8*gib {
+		t.Error("clone mutation leaked into source")
+	}
+	before := c.Stats()
+	s.ReadSequential("a", 10*gib)
+	if c.Stats() != before {
+		t.Error("source mutation leaked into clone")
 	}
 }
