@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race faults bench
+.PHONY: all build test check fmt vet race faults bench serve-bench serve-smoke
 
 all: build
 
@@ -23,10 +23,11 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Race-check the concurrent hot path: the parallel engine itself plus the
-# three packages whose kernels shard over it.
+# Race-check the concurrent hot path: the parallel engine itself, the three
+# packages whose kernels shard over it, and the serving subsystem (cache
+# singleflight, scheduler pools).
 race:
-	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion
+	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion ./internal/cache ./internal/serve
 
 # Fault-injection and degradation suite under the race detector: the
 # resilience package, the cancellation paths through the scan engine, and
@@ -35,8 +36,17 @@ faults:
 	$(GO) test -race ./internal/resilience
 	$(GO) test -race -run 'Ctx|Cancel|Fault|Resilience|Transient|Permanent|StageBudget|MemSpike|Stall|Stream|ExitCode|GoldenRun' ./internal/parallel ./internal/simio ./internal/hmmer ./internal/msa ./internal/core ./cmd/afsysbench
 
-check: fmt vet test race faults
+check: fmt vet test race faults serve-smoke
 
 # Kernel microbenchmarks with allocation tracking (serial vs parallel).
 bench:
 	$(GO) test -run xxx -bench 'MatMul|TriangleAttention|BlockApply|DiffusionDenoise' -benchmem ./internal/tensor ./internal/pairformer ./internal/diffusion
+
+# Serving benchmark: a repeat-heavy closed-loop mix through the phase-split
+# scheduler, with and without the MSA cache. Emits BENCH_serve.json.
+serve-bench:
+	$(GO) run ./cmd/afload -n 30 -concurrency 4 -mix promo:1,1YY9:9 -threads 4 -msa-workers 4 -compare-cache -json BENCH_serve.json
+
+# Smoke variant of serve-bench for the check gate: small trace, no artifact.
+serve-smoke:
+	$(GO) run ./cmd/afload -n 6 -concurrency 2 -mix 1YY9:1 -threads 4 -msa-workers 2 -compare-cache

@@ -1,0 +1,416 @@
+// Command afload is the closed-loop load generator for the serving
+// subsystem. It synthesizes a deterministic weighted request mix, drives it
+// through -concurrency closed-loop clients (each submits, waits for the
+// terminal state, then submits the next), and reports throughput, latency
+// percentiles (p50/p95/p99), cache hit rate and shed rate.
+//
+// Two targets:
+//
+//	afload -addr http://host:8642 -n 100 -mix promo:1,1YY9:9
+//	    drives a running afserve over its HTTP API.
+//
+//	afload -n 30 -mix promo:1,1YY9:9 -compare-cache -json BENCH_serve.json
+//	    (no -addr) embeds the scheduler in-process, runs the same trace
+//	    with the cache enabled and disabled, and writes the comparison —
+//	    the `make serve-bench` artifact.
+//
+// The request trace is a pure function of -seed, -mix and -n, so runs are
+// reproducible end to end.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"afsysbench/internal/cache"
+	"afsysbench/internal/core"
+	"afsysbench/internal/platform"
+	"afsysbench/internal/resilience"
+	"afsysbench/internal/rng"
+	"afsysbench/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "afload:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr         string
+	n            int
+	concurrency  int
+	mix          string
+	seed         uint64
+	machine      string
+	threads      int
+	msaWorkers   int
+	gpuWorkers   int
+	queue        int
+	cacheMB      int
+	compareCache bool
+	jsonPath     string
+}
+
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("afload", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "", "afserve base URL; empty runs the scheduler in-process")
+	fs.IntVar(&o.n, "n", 30, "total requests")
+	fs.IntVar(&o.concurrency, "concurrency", 4, "closed-loop client count")
+	fs.StringVar(&o.mix, "mix", "promo:1,1YY9:9", "weighted sample mix, e.g. promo:1,1YY9:9")
+	fs.Uint64Var(&o.seed, "seed", 7, "trace seed (trace is a pure function of seed, mix, n)")
+	fs.StringVar(&o.machine, "machine", "server", "platform for in-process mode")
+	fs.IntVar(&o.threads, "threads", 4, "per-request thread count")
+	fs.IntVar(&o.msaWorkers, "msa-workers", 0, "in-process MSA pool size; 0 = one per core")
+	fs.IntVar(&o.gpuWorkers, "gpu-workers", 0, "in-process GPU pool size; 0 = one per modeled device")
+	fs.IntVar(&o.queue, "queue", 64, "in-process admission queue depth")
+	fs.IntVar(&o.cacheMB, "cache-mb", 512, "in-process cache capacity in MiB; 0 disables")
+	fs.BoolVar(&o.compareCache, "compare-cache", false, "in-process only: rerun the trace cache-disabled and report the speedup")
+	fs.StringVar(&o.jsonPath, "json", "", "write the LoadReport JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.n <= 0 || o.concurrency <= 0 {
+		return o, fmt.Errorf("-n and -concurrency must be positive")
+	}
+	if o.addr != "" && o.compareCache {
+		return o, fmt.Errorf("-compare-cache needs the in-process mode (drop -addr)")
+	}
+	return o, nil
+}
+
+// parseMix parses "promo:1,1YY9:9" into ordered (sample, weight) pairs.
+func parseMix(spec string) ([]string, []int, error) {
+	var samples []string
+	var weights []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, ok := strings.Cut(part, ":")
+		w := 1
+		if ok {
+			var err error
+			w, err = strconv.Atoi(wstr)
+			if err != nil || w <= 0 {
+				return nil, nil, fmt.Errorf("bad mix weight in %q", part)
+			}
+		}
+		samples = append(samples, name)
+		weights = append(weights, w)
+	}
+	if len(samples) == 0 {
+		return nil, nil, fmt.Errorf("empty -mix")
+	}
+	return samples, weights, nil
+}
+
+// buildTrace derives the deterministic request trace: n weighted draws
+// from the mix using the suite's splittable RNG.
+func buildTrace(samples []string, weights []int, n int, seed uint64) []string {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	src := rng.New(seed).Split(0x10AD)
+	trace := make([]string, n)
+	for i := range trace {
+		pick := src.Split(uint64(i)).Intn(total)
+		for j, w := range weights {
+			if pick < w {
+				trace[i] = samples[j]
+				break
+			}
+			pick -= w
+		}
+	}
+	return trace
+}
+
+// target abstracts where requests go: the in-process scheduler or a remote
+// afserve over HTTP.
+type target interface {
+	// submit returns the job id, shed=true on admission shedding.
+	submit(sample string, threads int) (id string, shed bool, err error)
+	// wait blocks until the job is terminal and returns its status.
+	wait(id string) (serve.JobStatus, error)
+}
+
+type inprocTarget struct{ s *serve.Server }
+
+func (t inprocTarget) submit(sample string, threads int) (string, bool, error) {
+	id, err := t.s.Submit(serve.Request{Sample: sample, Threads: threads})
+	if resilience.IsOverloaded(err) {
+		return "", true, nil
+	}
+	return id, false, err
+}
+
+func (t inprocTarget) wait(id string) (serve.JobStatus, error) {
+	for {
+		st, ok := t.s.Status(id)
+		if !ok {
+			return st, fmt.Errorf("job %s vanished", id)
+		}
+		if st.State == "done" || st.State == "failed" {
+			return st, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+type httpTarget struct {
+	base   string
+	client *http.Client
+}
+
+func (t httpTarget) submit(sample string, threads int) (string, bool, error) {
+	body, _ := json.Marshal(serve.SubmitRequest{Sample: sample, Threads: threads})
+	resp, err := t.client.Post(t.base+"/v1/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return "", true, nil
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", false, fmt.Errorf("submit %s: HTTP %d", sample, resp.StatusCode)
+	}
+	var sub serve.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return "", false, err
+	}
+	return sub.ID, false, nil
+}
+
+func (t httpTarget) wait(id string) (serve.JobStatus, error) {
+	for {
+		resp, err := t.client.Get(t.base + "/v1/jobs/" + id)
+		if err != nil {
+			return serve.JobStatus{}, err
+		}
+		var st serve.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return serve.JobStatus{}, err
+		}
+		if st.State == "done" || st.State == "failed" {
+			return st, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// drive runs the trace through the target with closed-loop clients and
+// returns the measured stats. Clients pull trace entries in order from a
+// shared cursor; each waits for its request to finish before taking the
+// next.
+func drive(t target, trace []string, concurrency, threads int) serve.LoadStats {
+	var (
+		mu        sync.Mutex
+		next      int
+		latencies []float64
+		stats     serve.LoadStats
+	)
+	stats.Requests = len(trace)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(trace) {
+					mu.Unlock()
+					return
+				}
+				sample := trace[next]
+				next++
+				mu.Unlock()
+
+				t0 := time.Now()
+				id, shed, err := t.submit(sample, threads)
+				if err != nil {
+					mu.Lock()
+					stats.Failed++
+					mu.Unlock()
+					continue
+				}
+				if shed {
+					mu.Lock()
+					stats.Shed++
+					mu.Unlock()
+					continue
+				}
+				st, err := t.wait(id)
+				elapsed := time.Since(t0).Seconds() * 1000
+				mu.Lock()
+				if err != nil || st.State != "done" {
+					stats.Failed++
+				} else {
+					stats.Completed++
+					latencies = append(latencies, elapsed)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	stats.WallSeconds = time.Since(start).Seconds()
+	if stats.WallSeconds > 0 {
+		stats.Throughput = float64(stats.Completed) / stats.WallSeconds
+	}
+	if stats.Requests > 0 {
+		stats.ShedRate = float64(stats.Shed) / float64(stats.Requests)
+	}
+	sort.Float64s(latencies)
+	stats.Latency = serve.Summarize(latencies)
+	return stats
+}
+
+// runInprocPass builds a scheduler from the flags, drives the trace, and
+// fills in the server-side accounting (cache stats, modeled makespans).
+func runInprocPass(o options, suite *core.Suite, mach platform.Machine, trace []string, label string, withCache bool) (serve.LoadStats, error) {
+	var c *cache.Cache
+	if withCache && o.cacheMB > 0 {
+		c = cache.New(int64(o.cacheMB) << 20)
+	}
+	s := serve.NewWithSuite(suite, serve.Config{
+		Machine:    mach,
+		Threads:    o.threads,
+		MSAWorkers: o.msaWorkers,
+		GPUWorkers: o.gpuWorkers,
+		QueueDepth: o.queue,
+		Cache:      c,
+	})
+	s.Start()
+	stats := drive(inprocTarget{s: s}, trace, o.concurrency, o.threads)
+	s.Stop()
+	stats.Label = label
+	stats.Cache = c.Stats()
+	stats.CacheHitRate = stats.Cache.HitRate()
+	cfg := s.Config()
+	sched := s.ModeledSchedule(cfg.MSAWorkers, cfg.GPUWorkers)
+	stats.ModeledMakespan = sched.Makespan
+	stats.ModeledSerial = s.SerialMakespan()
+	if sched.Makespan > 0 {
+		stats.ModeledSpeedup = stats.ModeledSerial / sched.Makespan
+	}
+	return stats, nil
+}
+
+func printStats(w *os.File, st serve.LoadStats) {
+	fmt.Fprintf(w, "%-10s %3d req: %d done, %d shed, %d failed | %.1fs wall, %.2f req/s | p50 %.0fms p95 %.0fms p99 %.0fms | hit rate %.1f%% shed rate %.1f%%\n",
+		st.Label, st.Requests, st.Completed, st.Shed, st.Failed,
+		st.WallSeconds, st.Throughput,
+		st.Latency.P50Ms, st.Latency.P95Ms, st.Latency.P99Ms,
+		100*st.CacheHitRate, 100*st.ShedRate)
+	if st.ModeledSerial > 0 {
+		fmt.Fprintf(w, "%-10s modeled: phase-split makespan %.0fs vs serial %.0fs -> %.2fx\n",
+			"", st.ModeledMakespan, st.ModeledSerial, st.ModeledSpeedup)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	samples, weights, err := parseMix(o.mix)
+	if err != nil {
+		return err
+	}
+	trace := buildTrace(samples, weights, o.n, o.seed)
+
+	report := serve.LoadReport{
+		Mix:         o.mix,
+		Requests:    o.n,
+		Concurrency: o.concurrency,
+		Threads:     o.threads,
+		MSAWorkers:  o.msaWorkers,
+		GPUWorkers:  o.gpuWorkers,
+		QueueDepth:  o.queue,
+		CacheMB:     o.cacheMB,
+		Seed:        o.seed,
+	}
+
+	if o.addr != "" {
+		t := httpTarget{base: strings.TrimRight(o.addr, "/"), client: &http.Client{Timeout: 5 * time.Minute}}
+		stats := drive(t, trace, o.concurrency, o.threads)
+		stats.Label = "remote"
+		printStats(out, stats)
+		report.WithCache = &stats
+	} else {
+		mach, err := machineByName(o.machine)
+		if err != nil {
+			return err
+		}
+		suite, err := core.NewSuite()
+		if err != nil {
+			return err
+		}
+		withCache, err := runInprocPass(o, suite, mach, trace, "with-cache", true)
+		if err != nil {
+			return err
+		}
+		printStats(out, withCache)
+		report.WithCache = &withCache
+		if o.compareCache {
+			noCache, err := runInprocPass(o, suite, mach, trace, "no-cache", false)
+			if err != nil {
+				return err
+			}
+			printStats(out, noCache)
+			report.NoCache = &noCache
+			if noCache.Throughput > 0 {
+				report.ThroughputSpeedup = withCache.Throughput / noCache.Throughput
+				fmt.Fprintf(out, "cache throughput speedup: %.2fx (hit rate %.1f%%)\n",
+					report.ThroughputSpeedup, 100*withCache.CacheHitRate)
+			}
+		}
+	}
+
+	if o.jsonPath != "" {
+		f, err := os.Create(o.jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", o.jsonPath)
+	}
+	return nil
+}
+
+// machineByName resolves the -machine flag.
+func machineByName(name string) (platform.Machine, error) {
+	switch name {
+	case "server":
+		return platform.Server(), nil
+	case "desktop":
+		return platform.Desktop(), nil
+	case "desktop-upgraded":
+		return platform.DesktopUpgraded(), nil
+	case "server-cxl":
+		return platform.ServerWithCXL(), nil
+	default:
+		return platform.Machine{}, fmt.Errorf("unknown -machine %q (want server, desktop, desktop-upgraded or server-cxl)", name)
+	}
+}

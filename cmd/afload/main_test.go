@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"afsysbench/internal/serve"
+)
+
+func TestParseMix(t *testing.T) {
+	samples, weights, err := parseMix("promo:1,1YY9:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 || samples[0] != "promo" || weights[1] != 9 {
+		t.Fatalf("mix = %v %v", samples, weights)
+	}
+	// Bare names default to weight 1.
+	samples, weights, err = parseMix("2PV7")
+	if err != nil || weights[0] != 1 || samples[0] != "2PV7" {
+		t.Fatalf("bare mix = %v %v (%v)", samples, weights, err)
+	}
+	for _, bad := range []string{"", "a:0", "a:-1", "a:x"} {
+		if _, _, err := parseMix(bad); err == nil {
+			t.Errorf("mix %q accepted", bad)
+		}
+	}
+}
+
+func TestBuildTraceDeterministic(t *testing.T) {
+	samples, weights, err := parseMix("promo:1,1YY9:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := buildTrace(samples, weights, 50, 7)
+	b := buildTrace(samples, weights, 50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace not deterministic at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// The weights steer the draw: 1YY9 must dominate a 1:9 mix.
+	counts := map[string]int{}
+	for _, s := range a {
+		counts[s]++
+	}
+	if counts["1YY9"] <= counts["promo"] {
+		t.Fatalf("mix weights ignored: %v", counts)
+	}
+	// A different seed reshuffles.
+	c := buildTrace(samples, weights, 50, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed does not influence the trace")
+	}
+}
+
+func TestParseFlagsValidation(t *testing.T) {
+	if _, err := parseFlags([]string{"-n", "0"}); err == nil {
+		t.Fatal("-n 0 accepted")
+	}
+	if _, err := parseFlags([]string{"-addr", "http://x", "-compare-cache"}); err == nil {
+		t.Fatal("-compare-cache with -addr accepted")
+	}
+}
+
+// TestEndToEndComparison runs a small in-process comparison and checks the
+// report invariants the serve-bench target relies on: a repeat-heavy mix
+// hits the cache and the cached pass beats the uncached one.
+func TestEndToEndComparison(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	err = run([]string{
+		"-n", "6", "-concurrency", "2", "-mix", "1YY9:1",
+		"-threads", "4", "-msa-workers", "2",
+		"-compare-cache", "-json", jsonPath,
+	}, devnull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serve.LoadReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.WithCache == nil || rep.NoCache == nil {
+		t.Fatal("report missing a pass")
+	}
+	if rep.WithCache.Completed != 6 || rep.NoCache.Completed != 6 {
+		t.Fatalf("incomplete passes: %+v / %+v", rep.WithCache, rep.NoCache)
+	}
+	// One distinct query, six requests: five of six served by the cache.
+	if rep.WithCache.CacheHitRate < 0.8 {
+		t.Fatalf("hit rate = %v", rep.WithCache.CacheHitRate)
+	}
+	if rep.WithCache.Throughput <= rep.NoCache.Throughput {
+		t.Fatalf("cache did not buy throughput: %.2f vs %.2f req/s",
+			rep.WithCache.Throughput, rep.NoCache.Throughput)
+	}
+	if rep.ThroughputSpeedup <= 1 {
+		t.Fatalf("speedup = %v", rep.ThroughputSpeedup)
+	}
+	if rep.WithCache.ModeledSerial <= rep.WithCache.ModeledMakespan {
+		t.Fatalf("modeled schedule not better than serial: %+v", rep.WithCache)
+	}
+}

@@ -1,0 +1,137 @@
+// Command afserve runs the AFSysBench serving subsystem as an HTTP server:
+// the phase-split scheduler of internal/serve (separate MSA and inference
+// worker pools, bounded admission queue, per-request deadlines) in front
+// of the content-addressed MSA cache of internal/cache.
+//
+// Usage:
+//
+//	afserve                                  # serve on :8642, defaults
+//	afserve -addr :9000 -machine desktop
+//	afserve -msa-workers 8 -gpu-workers 1 -queue 128
+//	afserve -cache-mb 256                    # bound the MSA cache
+//	afserve -cache-mb 0                      # disable the cache
+//	afserve -deadline 30s -cold              # per-request deadline, cold model
+//
+// Endpoints:
+//
+//	POST /v1/submit     {"sample":"1YY9","threads":4,"timeout_ms":30000}
+//	GET  /v1/jobs/{id}  job status (state, cache_hit, stage seconds)
+//	GET  /v1/metrics    counters + cache stats + latency percentiles
+//	GET  /v1/healthz
+//
+// A full admission queue answers 503 (deterministic load shedding); an
+// unknown sample answers 400.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"afsysbench/internal/cache"
+	"afsysbench/internal/parallel"
+	"afsysbench/internal/platform"
+	"afsysbench/internal/serve"
+	"afsysbench/internal/simgpu"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "afserve:", err)
+		os.Exit(1)
+	}
+}
+
+// options holds the parsed flag set.
+type options struct {
+	addr       string
+	machine    string
+	threads    int
+	msaWorkers int
+	gpuWorkers int
+	queue      int
+	cacheMB    int
+	deadline   time.Duration
+	cold       bool
+}
+
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("afserve", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8642", "listen address")
+	fs.StringVar(&o.machine, "machine", "server", "platform: server, desktop, desktop-upgraded, server-cxl")
+	fs.IntVar(&o.threads, "threads", 8, "default per-request thread count")
+	fs.IntVar(&o.msaWorkers, "msa-workers", 0, "MSA (CPU) pool size; 0 = one per core")
+	fs.IntVar(&o.gpuWorkers, "gpu-workers", 0, "inference (GPU) pool size; 0 = one per modeled device")
+	fs.IntVar(&o.queue, "queue", 64, "admission queue depth; a full queue sheds (503)")
+	fs.IntVar(&o.cacheMB, "cache-mb", 512, "MSA cache capacity in MiB; 0 disables caching")
+	fs.DurationVar(&o.deadline, "deadline", 0, "default per-request wall deadline (0 = none)")
+	fs.BoolVar(&o.cold, "cold", false, "cold model per request (pay GPU init + XLA compile each time)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// buildServer turns the flags into a configured scheduler. Split from run
+// so tests can build without binding a socket.
+func buildServer(o options) (*serve.Server, error) {
+	mach, err := machineByName(o.machine)
+	if err != nil {
+		return nil, err
+	}
+	var c *cache.Cache
+	if o.cacheMB > 0 {
+		c = cache.New(int64(o.cacheMB) << 20)
+	}
+	return serve.New(serve.Config{
+		Machine:        mach,
+		Threads:        o.threads,
+		MSAWorkers:     o.msaWorkers,
+		GPUWorkers:     o.gpuWorkers,
+		QueueDepth:     o.queue,
+		Cache:          c,
+		DefaultTimeout: o.deadline,
+		ColdModel:      o.cold,
+	})
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	s, err := buildServer(o)
+	if err != nil {
+		return err
+	}
+	s.Start()
+	defer s.Stop()
+	cfg := s.Config()
+	cacheDesc := "disabled"
+	if cfg.Cache != nil {
+		cacheDesc = fmt.Sprintf("%d MiB", o.cacheMB)
+	}
+	fmt.Printf("afserve: %s on %s | %d msa workers (cores %d), %d gpu workers (devices %d), queue %d, cache %s\n",
+		cfg.Machine.Name, o.addr, cfg.MSAWorkers, parallel.DefaultWorkers(),
+		cfg.GPUWorkers, simgpu.Devices(cfg.Machine), cfg.QueueDepth, cacheDesc)
+	return http.ListenAndServe(o.addr, serve.NewHandler(s))
+}
+
+// machineByName resolves the -machine flag.
+func machineByName(name string) (platform.Machine, error) {
+	switch name {
+	case "server":
+		return platform.Server(), nil
+	case "desktop":
+		return platform.Desktop(), nil
+	case "desktop-upgraded":
+		return platform.DesktopUpgraded(), nil
+	case "server-cxl":
+		return platform.ServerWithCXL(), nil
+	default:
+		return platform.Machine{}, fmt.Errorf("unknown -machine %q (want server, desktop, desktop-upgraded or server-cxl)", name)
+	}
+}

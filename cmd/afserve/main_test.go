@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-addr", ":9000", "-machine", "desktop", "-cache-mb", "64", "-queue", "8", "-deadline", "30s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":9000" || o.machine != "desktop" || o.cacheMB != 64 || o.queue != 8 || o.deadline.Seconds() != 30 {
+		t.Fatalf("options = %+v", o)
+	}
+	if _, err := parseFlags([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestBuildServer(t *testing.T) {
+	o, err := parseFlags([]string{"-machine", "desktop", "-msa-workers", "3", "-gpu-workers", "2", "-cache-mb", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	cfg := s.Config()
+	if cfg.Machine.Name != "Desktop" || cfg.MSAWorkers != 3 || cfg.GPUWorkers != 2 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	if cfg.Cache == nil {
+		t.Fatal("cache not built")
+	}
+	if st := cfg.Cache.Stats(); st.CapacityBytes != 64<<20 {
+		t.Fatalf("cache capacity = %d", st.CapacityBytes)
+	}
+
+	// cache-mb 0 disables the cache entirely.
+	o.cacheMB = 0
+	s2, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Stop()
+	if s2.Config().Cache != nil {
+		t.Fatal("cache-mb 0 still built a cache")
+	}
+
+	o.machine = "laptop"
+	if _, err := buildServer(o); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}

@@ -1,20 +1,43 @@
-// Batchserver: combine the paper's §VI persistent-model recommendation with
-// ParaFold-style CPU/GPU pipelining (Related Work) and measure what they
-// buy over AF3's stock one-request-per-container deployment.
+// Batchserver: serve a mixed request queue through internal/serve and
+// measure what each deployment refinement buys over AF3's stock
+// one-request-per-container execution: the §VI persistent model, the
+// ParaFold-style phase-split pipeline (separate CPU and GPU worker pools),
+// and the AF_Cache-style content-addressed MSA cache. Makespans are the
+// scheduler's modeled (virtual-time) replays of the same completed trace,
+// so the rows differ only by deployment, never by measurement noise.
 //
 //	go run ./examples/batchserver
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
+	"afsysbench/internal/cache"
 	"afsysbench/internal/core"
 	"afsysbench/internal/platform"
 	"afsysbench/internal/report"
-	"afsysbench/internal/trace"
+	"afsysbench/internal/serve"
 )
+
+// runQueue drains the queue through one server configuration and returns
+// the stopped server for post-hoc schedule analysis.
+func runQueue(suite *core.Suite, cfg serve.Config, queue []string) (*serve.Server, error) {
+	s := serve.NewWithSuite(suite, cfg)
+	s.Start()
+	defer s.Stop()
+	for _, name := range queue {
+		if _, err := s.Submit(serve.Request{Sample: name}); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.WaitIdle(context.Background()); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
 func main() {
 	suite, err := core.NewSuite()
@@ -22,58 +45,74 @@ func main() {
 		log.Fatal(err)
 	}
 	mach := platform.Server()
+	// One worker per resource, like the paper's single-node platforms: the
+	// pipeline win is CPU/GPU overlap, the cache win is skipped searches.
+	const cpuWorkers, gpuWorkers = 1, 1
 
-	// A mixed request queue.
+	// A mixed request queue with repeats — screening traffic in miniature.
 	queue := []string{"2PV7", "1YY9", "7RCE", "promo", "2PV7", "1YY9", "7RCE", "2PV7"}
-	fmt.Printf("serving %d requests on %s\n\n", len(queue), mach.Name)
+	fmt.Printf("serving %d requests on %s (%d CPU worker, %d GPU worker)\n\n",
+		len(queue), mach.Name, cpuWorkers, gpuWorkers)
 
-	configs := []struct {
-		label string
-		opts  core.BatchOptions
-	}{
-		{"stock (sequential, cold model)", core.BatchOptions{Threads: 6}},
-		{"persistent model (§VI)", core.BatchOptions{Threads: 6, WarmModel: true}},
-		{"pipelined CPU/GPU (ParaFold-style)", core.BatchOptions{Threads: 6, Pipelined: true}},
-		{"pipelined + persistent", core.BatchOptions{Threads: 6, Pipelined: true, WarmModel: true}},
+	// Three server runs cover the four deployments: the serial rows are the
+	// stock replay (one request at a time) of the cold and warm traces; the
+	// phase-split rows are the pooled replays of the warm traces.
+	cold, err := runQueue(suite, serve.Config{Threads: 6, MSAWorkers: cpuWorkers, GPUWorkers: gpuWorkers, ColdModel: true}, queue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm, err := runQueue(suite, serve.Config{Threads: 6, MSAWorkers: cpuWorkers, GPUWorkers: gpuWorkers}, queue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cached, err := runQueue(suite, serve.Config{Threads: 6, MSAWorkers: cpuWorkers, GPUWorkers: gpuWorkers, Cache: cache.New(0)}, queue)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	var rows [][]string
-	var base float64
-	var pipelined *core.BatchResult
-	for i, cfg := range configs {
-		res, err := suite.RunBatch(queue, mach, cfg.opts)
-		if err != nil {
-			log.Fatal(err)
+	type row struct {
+		label    string
+		makespan float64
+		sched    serve.Schedule
+	}
+	rows := []row{
+		{label: "stock (serial, cold model)", makespan: cold.SerialMakespan()},
+		{label: "persistent model (§VI)", makespan: warm.SerialMakespan()},
+		{label: "phase-split pipeline (ParaFold-style)", sched: warm.ModeledSchedule(cpuWorkers, gpuWorkers)},
+		{label: "phase-split + MSA cache (AF_Cache-style)", sched: cached.ModeledSchedule(cpuWorkers, gpuWorkers)},
+	}
+	base := rows[0].makespan
+	var trows [][]string
+	for i := range rows {
+		r := &rows[i]
+		cpuUtil, gpuUtil := "-", "-"
+		if r.makespan == 0 {
+			r.makespan = r.sched.Makespan
+			cpuUtil = report.Pct(r.sched.CPUUtilPct())
+			gpuUtil = report.Pct(r.sched.GPUUtilPct())
 		}
-		if i == 0 {
-			base = res.Makespan
-		}
-		if i == len(configs)-1 {
-			pipelined = res
-		}
-		rows = append(rows, []string{
-			cfg.label,
-			report.F0(res.Makespan) + "s",
-			fmt.Sprintf("%.1f/h", res.Throughput()),
-			report.Pct(100 * res.CPUBusy / res.Makespan),
-			report.Pct(100 * res.GPUBusy / res.Makespan),
-			fmt.Sprintf("%.2fx", base/res.Makespan),
+		trows = append(trows, []string{
+			r.label,
+			report.F0(r.makespan) + "s",
+			fmt.Sprintf("%.1f/h", float64(len(queue))/r.makespan*3600),
+			cpuUtil,
+			gpuUtil,
+			fmt.Sprintf("%.2fx", base/r.makespan),
 		})
 	}
-	if err := report.Table(os.Stdout, []string{"deployment", "makespan", "throughput", "CPU util", "GPU util", "speedup"}, rows); err != nil {
+	if err := report.Table(os.Stdout, []string{"deployment", "makespan", "throughput", "CPU util", "GPU util", "speedup"}, trows); err != nil {
 		log.Fatal(err)
 	}
 
-	// The pipelined schedule as a two-lane gantt: the CPU runs the next
-	// request's MSA while the GPU infers the previous one.
+	// The cached phase-split schedule as a per-worker gantt: the CPU lanes
+	// run the next requests' MSA while the GPU infers the previous ones,
+	// and cache hits (repeat queries) skip the CPU lanes entirely.
 	fmt.Println()
-	var lanes trace.Lanes
-	lanes.Title = "pipelined + persistent schedule"
-	for _, item := range pipelined.Items {
-		lanes.AddSpan("CPU (MSA)", item.Sample, item.Start, item.Start+item.MSASeconds)
-		lanes.AddSpan("GPU (inference)", item.Sample, item.Finish-item.InferenceSeconds, item.Finish)
-	}
-	if err := lanes.Render(os.Stdout, 76); err != nil {
+	if err := report.RenderSchedule(os.Stdout, "phase-split + cache schedule",
+		cached.ModeledSchedule(cpuWorkers, gpuWorkers), cached.SerialMakespan(), 76); err != nil {
 		log.Fatal(err)
 	}
+	st := cached.Config().Cache.Stats()
+	fmt.Printf("\nMSA cache: %d misses, %d served (hit rate %.0f%%)\n",
+		st.Misses, st.Hits+st.Shared, 100*st.HitRate())
 }

@@ -1,19 +1,52 @@
 // Warmserver: the Section VI "persistent model state" optimization — keep
 // the model initialized between requests instead of paying GPU init and XLA
 // compilation per inference (AF3's Docker-per-request deployment). The
-// example serves a batch of requests both ways and reports the speedup.
+// example serves the same request trace through two internal/serve
+// schedulers, one cold and one persistent, and compares the inference time
+// every request was charged.
 //
 //	go run ./examples/warmserver
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"afsysbench/internal/cache"
 	"afsysbench/internal/core"
-	"afsysbench/internal/inputs"
 	"afsysbench/internal/platform"
+	"afsysbench/internal/serve"
 )
+
+// inferenceSeconds drains the trace through a server and sums the modeled
+// inference seconds charged per request. Both deployments share the MSA
+// cache so the comparison isolates the inference side.
+func inferenceSeconds(suite *core.Suite, trace []string, coldModel bool) (float64, error) {
+	s := serve.NewWithSuite(suite, serve.Config{
+		Threads:   6,
+		ColdModel: coldModel,
+		Cache:     cache.New(0),
+	})
+	s.Start()
+	defer s.Stop()
+	for _, name := range trace {
+		if _, err := s.Submit(serve.Request{Sample: name}); err != nil {
+			return 0, err
+		}
+	}
+	if err := s.WaitIdle(context.Background()); err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, st := range s.Statuses() {
+		if st.State != "done" {
+			return 0, fmt.Errorf("request %s: %s (%s)", st.ID, st.State, st.Error)
+		}
+		total += st.InferenceSeconds
+	}
+	return total, nil
+}
 
 func main() {
 	suite, err := core.NewSuite()
@@ -24,36 +57,26 @@ func main() {
 
 	// A request mix: repeated predictions over the protein samples, the
 	// interactive workload where first-request latency matters.
-	var batch []string
+	var trace []string
 	for i := 0; i < 4; i++ {
-		batch = append(batch, "2PV7", "7RCE", "1YY9")
+		trace = append(trace, "2PV7", "7RCE", "1YY9")
 	}
 
-	var coldTotal, warmTotal float64
-	for i, name := range batch {
-		in, err := inputs.ByName(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		// Cold deployment: every request re-initializes (paper: "each
-		// inference request incurs repeated model initialization").
-		cold, err := suite.InferenceOnly(in, mach, false)
-		if err != nil {
-			log.Fatal(err)
-		}
-		coldTotal += cold.Total()
-
-		// Warm server: only the first request pays init+compile; the
-		// persistent process serves the rest.
-		warm, err := suite.InferenceOnly(in, mach, i > 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		warmTotal += warm.Total()
+	// Cold deployment: every request re-initializes (paper: "each
+	// inference request incurs repeated model initialization").
+	coldTotal, err := inferenceSeconds(suite, trace, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Warm server: the persistent process pays init and compile once,
+	// outside the request path; requests see only compute.
+	warmTotal, err := inferenceSeconds(suite, trace, false)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	n := float64(len(batch))
-	fmt.Printf("served %d inference requests on %s\n\n", len(batch), mach.Name)
+	n := float64(len(trace))
+	fmt.Printf("served %d inference requests on %s\n\n", len(trace), mach.Name)
 	fmt.Printf("cold per-request deployment: %7.0fs total (%.1fs/request)\n", coldTotal, coldTotal/n)
 	fmt.Printf("persistent model server:     %7.0fs total (%.1fs/request)\n", warmTotal, warmTotal/n)
 	fmt.Printf("throughput improvement:      %.2fx\n", coldTotal/warmTotal)

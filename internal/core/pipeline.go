@@ -48,6 +48,13 @@ type PipelineOptions struct {
 	// Retry tunes transient-fault handling; the zero value means the
 	// standard capped-exponential policy.
 	Retry resilience.RetryPolicy
+	// FreshMSA forces the MSA search to recompute instead of consulting the
+	// suite's per-profile memo. The serving layer sets it so that
+	// internal/cache is the only reuse path between requests — a
+	// cache-disabled server really pays the search per request, and a
+	// cache-enabled one attributes every skipped search to its own
+	// hit counters.
+	FreshMSA bool
 }
 
 // PipelineResult is the end-to-end outcome for one sample on one machine.
@@ -132,23 +139,78 @@ func (s *Suite) RunPipeline(in *inputs.Input, mach platform.Machine, opts Pipeli
 // MSA plan that cannot fit opts.Budget — degrades the run down the ladder
 // (drop the database, then single-sequence inference) instead of failing
 // it. Everything taken is recorded in the result's Resilience report.
+//
+// The run is the composition of the two phase entry points — RunMSAPhase
+// and RunInferencePhase — which the serving subsystem (internal/serve)
+// also calls individually to run the phases on separate worker pools.
 func (s *Suite) RunPipelineCtx(ctx context.Context, in *inputs.Input, mach platform.Machine, opts PipelineOptions) (*PipelineResult, error) {
+	if opts.Threads <= 0 {
+		opts.Threads = 8
+	}
+	mp, err := s.RunMSAPhase(ctx, in, mach, opts)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := s.RunInferencePhase(ctx, in, mach, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ComposeResult(in, mach, opts.Threads, mp, pb), nil
+}
+
+// MSAPhase is the outcome of the pipeline's first phase in isolation: the
+// search result and features, the modeled phase times, the storage counters
+// and the resilience accounting accrued while planning the stage. The
+// serving subsystem runs the two phases on separate worker pools and keeps
+// this value in its content-addressed cache; RunPipelineCtx composes the
+// phases back into the classic single-run result.
+type MSAPhase struct {
+	// Memory is the Section VI pre-check verdict for the run.
+	Memory memest.Estimate
+	// Data is the search outcome: alignments, features, streamed bytes.
+	Data *msa.Result
+	// CPU is the machine-model replay of the scan (Table IV counters).
+	CPU simhw.Result
+	// CPUSeconds, DiskSeconds and Seconds are the modeled phase times:
+	// compute, disk busy, and the pipelined wall time that bounds them.
+	CPUSeconds  float64
+	DiskSeconds float64
+	Seconds     float64
+	DiskUtilPct float64
+	DiskStats   simio.Stats
+	// Resilience is the retry/degradation accounting of the phase.
+	Resilience resilience.Report
+}
+
+// SizeBytes models the retained footprint of the phase output — the dense
+// feature tensor dominates, plus a fixed overhead for alignment metadata.
+// The serving cache charges entries at this size.
+func (p *MSAPhase) SizeBytes() int64 {
+	const overhead = 64 << 10
+	if p == nil || p.Data == nil || p.Data.Features == nil {
+		return overhead
+	}
+	return p.Data.Features.Bytes() + overhead
+}
+
+// RunMSAPhase executes only the MSA phase for one sample on one machine:
+// the Section VI memory gate, database opening under the retry policy, and
+// the degradation-ladder planning loop. The returned value is immutable
+// once computed and safe to share between requests (the serving cache
+// hands one *MSAPhase to every hit).
+func (s *Suite) RunMSAPhase(ctx context.Context, in *inputs.Input, mach platform.Machine, opts PipelineOptions) (*MSAPhase, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if opts.Threads <= 0 {
 		opts.Threads = 8
 	}
-	res := &PipelineResult{
-		Sample:  in.Name,
-		Machine: mach.Name,
-		Threads: opts.Threads,
-	}
+	mp := &MSAPhase{}
 
 	// Section VI static pre-check.
-	res.Memory = memVerdict(in, mach, opts.Threads)
-	if res.Memory.Verdict == memest.OOM && !opts.SkipMemCheck {
-		return nil, ErrProjectedOOM{Estimate: res.Memory}
+	mp.Memory = memVerdict(in, mach, opts.Threads)
+	if mp.Memory.Verdict == memest.OOM && !opts.SkipMemCheck {
+		return nil, ErrProjectedOOM{Estimate: mp.Memory}
 	}
 
 	pol := opts.Retry.WithDefaults()
@@ -165,21 +227,35 @@ func (s *Suite) RunPipelineCtx(ctx context.Context, in *inputs.Input, mach platf
 		defer storage.SetFaultFunc(nil)
 	}
 
-	// MSA phase: open the databases under the retry policy, then plan the
-	// stage down the degradation ladder until it fits.
+	// Open the databases under the retry policy, then plan the stage down
+	// the degradation ladder until it fits.
 	needed := s.neededDBs(in)
-	active := s.openDatabases(needed, inj, pol, &res.Resilience)
-	if err := s.runMSAStage(ctx, in, mach, opts, storage, active, needed, inj, pol, res); err != nil {
+	active := s.openDatabases(needed, inj, pol, &mp.Resilience)
+	if err := s.runMSAStage(ctx, in, mach, opts, storage, active, needed, inj, pol, mp); err != nil {
 		return nil, err
 	}
+	return mp, nil
+}
 
-	// Inference phase.
+// RunInferencePhase executes only the inference phase: XLA compile replay
+// on the host model, the roofline-priced GPU run, and the inference budget
+// gate. It is independent of the MSA phase output — AF3 inference consumes
+// the features, but the timing model depends only on token count — which
+// is what lets the serving scheduler start it the moment a cached MSA
+// phase is fetched.
+func (s *Suite) RunInferencePhase(ctx context.Context, in *inputs.Input, mach platform.Machine, opts PipelineOptions) (simgpu.PhaseBreakdown, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 8
+	}
 	if err := ctx.Err(); err != nil {
-		return nil, resilience.ErrStageTimeout{Stage: "inference", Cause: err}
+		return simgpu.PhaseBreakdown{}, resilience.ErrStageTimeout{Stage: "inference", Cause: err}
 	}
 	host, err := s.CompileSim(mach, in.TotalResidues())
 	if err != nil {
-		return nil, err
+		return simgpu.PhaseBreakdown{}, err
 	}
 	pb, err := simgpu.Inference(mach, s.Model, in.TotalResidues(), simgpu.InferenceOptions{
 		Threads:        opts.Threads,
@@ -187,19 +263,40 @@ func (s *Suite) RunPipelineCtx(ctx context.Context, in *inputs.Input, mach platf
 		CompileSeconds: host.CompileSeconds,
 	})
 	if err != nil {
-		return nil, err
+		return simgpu.PhaseBreakdown{}, err
 	}
 	j := s.jitter(in.Name+"/inf", opts.RunIndex, 0.003)
 	pb.ComputeSeconds *= j
 	if b := opts.Budget.InferenceSeconds; b > 0 && pb.Total() > b {
-		return nil, resilience.ErrStageTimeout{
+		return simgpu.PhaseBreakdown{}, resilience.ErrStageTimeout{
 			Stage:         "inference",
 			BudgetSeconds: b,
 			NeedSeconds:   pb.Total(),
 		}
 	}
-	res.Inference = pb
-	return res, nil
+	return pb, nil
+}
+
+// ComposeResult assembles the classic end-to-end result from the two phase
+// outcomes. threads is the request's worker-count setting (recorded, not
+// re-derived, so a cached MSA phase composed with a fresh inference keeps
+// the submitting request's setting).
+func ComposeResult(in *inputs.Input, mach platform.Machine, threads int, mp *MSAPhase, pb simgpu.PhaseBreakdown) *PipelineResult {
+	return &PipelineResult{
+		Sample:         in.Name,
+		Machine:        mach.Name,
+		Threads:        threads,
+		MSASeconds:     mp.Seconds,
+		MSACPUSeconds:  mp.CPUSeconds,
+		MSADiskSeconds: mp.DiskSeconds,
+		DiskUtilPct:    mp.DiskUtilPct,
+		DiskStats:      mp.DiskStats,
+		MSACPU:         mp.CPU,
+		MSAData:        mp.Data,
+		Inference:      pb,
+		Memory:         mp.Memory,
+		Resilience:     mp.Resilience,
+	}
 }
 
 // runMSAStage plans and commits the MSA phase. Each ladder iteration costs
@@ -207,8 +304,8 @@ func (s *Suite) RunPipelineCtx(ctx context.Context, in *inputs.Input, mach platf
 // the machine-model replay, and a streaming trial on a page-cache clone —
 // and either accepts it or sheds a database and re-plans. Rejected plans
 // leave the live storage untouched; the accepted plan is replayed on it.
-func (s *Suite) runMSAStage(ctx context.Context, in *inputs.Input, mach platform.Machine, opts PipelineOptions, storage *simio.System, active []*seqdb.DB, needed map[string]bool, inj *resilience.Injector, pol resilience.RetryPolicy, res *PipelineResult) error {
-	rep := &res.Resilience
+func (s *Suite) runMSAStage(ctx context.Context, in *inputs.Input, mach platform.Machine, opts PipelineOptions, storage *simio.System, active []*seqdb.DB, needed map[string]bool, inj *resilience.Injector, pol resilience.RetryPolicy, mp *MSAPhase) error {
+	rep := &mp.Resilience
 	if opts.PreloadDBs {
 		s.preload(storage, active)
 	}
@@ -216,7 +313,7 @@ func (s *Suite) runMSAStage(ctx context.Context, in *inputs.Input, mach platform
 		if err := ctx.Err(); err != nil {
 			return resilience.ErrStageTimeout{Stage: "msa", Cause: err}
 		}
-		msaRes, err := s.msaResultFor(ctx, in, opts.Threads, s.reducedDBSet(active), s.dbSignature(active))
+		msaRes, err := s.msaResultFor(ctx, in, opts.Threads, s.reducedDBSet(active), s.dbSignature(active), opts.FreshMSA)
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return resilience.ErrStageTimeout{Stage: "msa", Cause: ctxErr}
@@ -285,21 +382,21 @@ func (s *Suite) runMSAStage(ctx context.Context, in *inputs.Input, mach platform
 				Detail: "no databases available; inference proceeds on single-sequence features",
 			})
 		}
-		res.MSAData = msaRes
-		res.MSACPU = cpuSim
-		res.MSACPUSeconds = cpu
-		res.MSADiskSeconds = disk
+		mp.Data = msaRes
+		mp.CPU = cpuSim
+		mp.CPUSeconds = cpu
+		mp.DiskSeconds = disk
 		// The scan pipeline overlaps compute with NVMe streaming; whichever
 		// side is slower bounds the phase (Section V-B2c: the desktop's disk
 		// runs at 100% utilization without degrading the pipeline). Backoff
 		// waits overlap neither and are charged on top.
-		res.MSASeconds = cpu + stall
-		if disk > res.MSASeconds {
-			res.MSASeconds = disk
+		mp.Seconds = cpu + stall
+		if disk > mp.Seconds {
+			mp.Seconds = disk
 		}
-		res.MSASeconds += rep.RetrySeconds
-		res.DiskUtilPct = simio.UtilizationPct(disk, res.MSASeconds)
-		res.DiskStats = storage.Stats()
+		mp.Seconds += rep.RetrySeconds
+		mp.DiskUtilPct = simio.UtilizationPct(disk, mp.Seconds)
+		mp.DiskStats = storage.Stats()
 		return nil
 	}
 }

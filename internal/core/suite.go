@@ -62,29 +62,34 @@ func NewSuite() (*Suite, error) {
 // MSAResult runs (or returns the cached) MSA phase for a sample at a thread
 // count. The result is platform-independent: the machine models replay it.
 func (s *Suite) MSAResult(in *inputs.Input, threads int) (*msa.Result, error) {
-	return s.msaResultFor(context.Background(), in, threads, s.DBs, "full")
+	return s.msaResultFor(context.Background(), in, threads, s.DBs, "full", false)
 }
 
 // msaResultFor runs (or returns the cached) MSA phase against a specific
 // database profile. sig names the profile in the cache key: the degradation
 // ladder re-plans the stage against reduced sets, and a result computed
 // with a dropped database must never be served for the full profile (or
-// vice versa).
-func (s *Suite) msaResultFor(ctx context.Context, in *inputs.Input, threads int, dbs *msa.DBSet, sig string) (*msa.Result, error) {
+// vice versa). fresh bypasses the memo entirely — no read, no write — for
+// callers that manage reuse themselves (PipelineOptions.FreshMSA).
+func (s *Suite) msaResultFor(ctx context.Context, in *inputs.Input, threads int, dbs *msa.DBSet, sig string, fresh bool) (*msa.Result, error) {
 	key := fmt.Sprintf("%s/%d/%s", in.Name, threads, sig)
-	s.mu.Lock()
-	cached, ok := s.msaCache[key]
-	s.mu.Unlock()
-	if ok {
-		return cached, nil
+	if !fresh {
+		s.mu.Lock()
+		cached, ok := s.msaCache[key]
+		s.mu.Unlock()
+		if ok {
+			return cached, nil
+		}
 	}
 	res, err := msa.RunCtx(ctx, in, msa.Options{Threads: threads, DBs: dbs, AllowMissingDB: true})
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.msaCache[key] = res
-	s.mu.Unlock()
+	if !fresh {
+		s.mu.Lock()
+		s.msaCache[key] = res
+		s.mu.Unlock()
+	}
 	return res, nil
 }
 

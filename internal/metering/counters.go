@@ -1,0 +1,83 @@
+package metering
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry is a concurrency-safe set of named monotonic counters for
+// long-running processes — the serving subsystem's operational metrics
+// (requests admitted/shed/completed, stage entries, cache traffic). Where
+// Event/Accumulator instrument one run of the workload for the machine
+// models, a Registry aggregates across requests for the /metrics endpoint
+// of a server that never exits.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta, creating it at zero first.
+// A nil registry discards the update, so instrumented code stays
+// unconditional (the Nop convention of this package).
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Get returns the named counter's value (0 if absent or nil registry).
+func (r *Registry) Get(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the counter names in sorted order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON dumps the counters as a JSON object. encoding/json sorts map
+// keys, so the dump is byte-stable for a given counter state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,72 @@
+package metering
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 2)
+	r.Add("a", 3)
+	r.Add("b", 1)
+	if got := r.Get("a"); got != 5 {
+		t.Fatalf("a = %d, want 5", got)
+	}
+	if got := r.Get("missing"); got != 0 {
+		t.Fatalf("missing = %d, want 0", got)
+	}
+	snap := r.Snapshot()
+	r.Add("a", 1)
+	if snap["a"] != 5 {
+		t.Fatal("snapshot not isolated from later writes")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Add("x", 1) // must not panic
+	if r.Get("x") != 0 || len(r.Snapshot()) != 0 || len(r.Names()) != 0 {
+		t.Fatal("nil registry must read as empty")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get("n"); got != 8000 {
+		t.Fatalf("n = %d, want 8000", got)
+	}
+}
+
+func TestRegistryWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Add("zeta", 1)
+	r.Add("alpha", 2)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"alpha": 2`) || !strings.Contains(out, `"zeta": 1`) {
+		t.Fatalf("json = %s", out)
+	}
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Fatalf("keys not sorted: %s", out)
+	}
+}

@@ -9,6 +9,8 @@ package msa
 
 import (
 	"fmt"
+	"hash/fnv"
+	"strings"
 
 	"afsysbench/internal/inputs"
 	"afsysbench/internal/seq"
@@ -105,6 +107,30 @@ func BuildDBSet(samples []*inputs.Input, cfg DBConfig) (*DBSet, error) {
 		}
 	}
 	return set, nil
+}
+
+// Fingerprint returns a stable identity for the database profile: every
+// database's name, molecule type, record count, residue totals, modeled
+// footprint and a checksum over the record contents, in catalog order. Two
+// profiles that differ in any database — a different corpus build or seed,
+// a dropped database, a rescaled footprint — produce different
+// fingerprints. The serving layer folds it into its content-addressed
+// cache keys so a warm cache can never hand results across incompatible
+// database configurations.
+func (s *DBSet) Fingerprint() string {
+	h := fnv.New64a()
+	var b strings.Builder
+	for _, db := range append(append([]*seqdb.DB{}, s.Protein...), s.RNA...) {
+		h.Reset()
+		for _, sq := range db.Seqs {
+			h.Write([]byte(sq.ID))
+			h.Write([]byte{0})
+			h.Write(sq.Residues)
+		}
+		fmt.Fprintf(&b, "%s|%d|%d|%d|%d|%016x;",
+			db.Name, db.Type, len(db.Seqs), db.TotalResidues(), db.ModeledBytes(), h.Sum64())
+	}
+	return b.String()
 }
 
 // For returns the databases a chain of the given type searches.

@@ -1,0 +1,45 @@
+package msa
+
+import (
+	"testing"
+
+	"afsysbench/internal/inputs"
+)
+
+func TestDBSetFingerprint(t *testing.T) {
+	build := func(cfg DBConfig) *DBSet {
+		t.Helper()
+		set, err := BuildDBSet(inputs.Samples(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set
+	}
+	a := build(DefaultDBConfig())
+	b := build(DefaultDBConfig())
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical builds must fingerprint identically")
+	}
+
+	// A dropped database changes the identity.
+	dropped := build(DefaultDBConfig())
+	dropped.Protein = dropped.Protein[1:]
+	if dropped.Fingerprint() == a.Fingerprint() {
+		t.Fatal("dropping a database did not change the fingerprint")
+	}
+
+	// Different record content (another seed) changes the identity.
+	cfg := DefaultDBConfig()
+	cfg.Seed++
+	if build(cfg).Fingerprint() == a.Fingerprint() {
+		t.Fatal("different corpus content did not change the fingerprint")
+	}
+
+	// A rescaled modeled footprint changes the identity even with the same
+	// records.
+	rescaled := build(DefaultDBConfig())
+	rescaled.RNA[0].ScaleFactor *= 2
+	if rescaled.Fingerprint() == a.Fingerprint() {
+		t.Fatal("rescaled footprint did not change the fingerprint")
+	}
+}

@@ -329,3 +329,11 @@ func ForWorkers(workers int) *Pool {
 func Default() *Pool {
 	return ForWorkers(runtime.GOMAXPROCS(0))
 }
+
+// DefaultWorkers returns the worker count Default sizes its pool to — the
+// core count the process sees. Subsystems sizing their own CPU-bound pools
+// (the serving scheduler's MSA stage) use it so "one worker per core" is
+// defined in exactly one place.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}

@@ -120,6 +120,10 @@ type GPU struct {
 	// CompileFactor scales XLA compile time for this device generation
 	// (more autotuning candidates on newer architectures).
 	CompileFactor float64
+	// Devices is the number of identical accelerator cards installed; zero
+	// means one (both paper platforms are single-GPU). The serving
+	// scheduler sizes its inference pool to it.
+	Devices int
 }
 
 // Storage describes the NVMe device.

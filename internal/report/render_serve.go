@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"afsysbench/internal/serve"
+	"afsysbench/internal/trace"
+)
+
+// RenderSchedule prints a modeled serving schedule as a multi-lane gantt
+// chart — one lane per CPU worker (MSA stages) and per GPU worker
+// (inference stages) — followed by the makespan/utilization summary and
+// the serial baseline. serial is the stock one-request-at-a-time makespan
+// of the same trace (serve.Server.SerialMakespan); pass 0 to omit the
+// comparison line.
+func RenderSchedule(w io.Writer, title string, sched serve.Schedule, serial float64, width int) error {
+	// Register lanes up front (CPU rows above GPU rows, in index order) so
+	// idle workers still show and row order is independent of dispatch.
+	lanes := &trace.Lanes{Title: title, Lane: make(map[string][]trace.Span)}
+	for i := 0; i < sched.CPUWorkers; i++ {
+		name := fmt.Sprintf("cpu#%d", i)
+		lanes.Order = append(lanes.Order, name)
+		lanes.Lane[name] = nil
+	}
+	for g := 0; g < sched.GPUWorkers; g++ {
+		name := fmt.Sprintf("gpu#%d", g)
+		lanes.Order = append(lanes.Order, name)
+		lanes.Lane[name] = nil
+	}
+	for _, it := range sched.Items {
+		// A cache hit charges zero MSA seconds: no span to draw.
+		if it.MSAEnd > it.MSAStart {
+			lanes.AddSpan(fmt.Sprintf("cpu#%d", it.CPUWorker), it.Sample, it.MSAStart, it.MSAEnd)
+		}
+		if it.InfEnd > it.InfStart {
+			lanes.AddSpan(fmt.Sprintf("gpu#%d", it.GPUWorker), it.Sample, it.InfStart, it.InfEnd)
+		}
+	}
+	if err := lanes.Render(w, width); err != nil {
+		return err
+	}
+	hits := 0
+	for _, it := range sched.Items {
+		if it.CacheHit {
+			hits++
+		}
+	}
+	fmt.Fprintf(w, "  %d requests (%d cache hits), makespan %s, %s req/h, cpu util %s%%, gpu util %s%%\n",
+		len(sched.Items), hits, F1(sched.Makespan), F1(sched.Throughput()*3600),
+		F0(sched.CPUUtilPct()), F0(sched.GPUUtilPct()))
+	if serial > 0 && sched.Makespan > 0 {
+		fmt.Fprintf(w, "  serial (stock) makespan %s -> phase-split speedup %sx\n",
+			F1(serial), F2(serial/sched.Makespan))
+	}
+	return nil
+}

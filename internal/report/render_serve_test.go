@@ -1,0 +1,40 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"afsysbench/internal/serve"
+)
+
+func TestRenderSchedule(t *testing.T) {
+	sched := serve.Schedule{
+		CPUWorkers: 2,
+		GPUWorkers: 1,
+		Items: []serve.ScheduleItem{
+			{ID: "j0000", Sample: "promo", CPUWorker: 0, MSAStart: 0, MSAEnd: 100, InfStart: 100, InfEnd: 130},
+			{ID: "j0001", Sample: "1YY9", CPUWorker: 1, MSAStart: 0, MSAEnd: 40, InfStart: 40, InfEnd: 90},
+			{ID: "j0002", Sample: "1YY9", CacheHit: true, CPUWorker: 1, MSAStart: 40, MSAEnd: 40, InfStart: 90, InfEnd: 140},
+		},
+		Makespan: 140,
+		CPUBusy:  140,
+		GPUBusy:  130,
+	}
+	var b strings.Builder
+	if err := RenderSchedule(&b, "serving schedule", sched, 300, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"cpu#0", "cpu#1", "gpu#0", "3 requests (1 cache hits)", "speedup 2.14x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// An empty schedule renders nothing but must not error out of the
+	// summary path.
+	var empty strings.Builder
+	if err := RenderSchedule(&empty, "empty", serve.Schedule{CPUWorkers: 1, GPUWorkers: 1}, 0, 60); err == nil {
+		t.Log("empty schedule rendered:", empty.String())
+	}
+}

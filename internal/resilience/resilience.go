@@ -18,6 +18,7 @@
 package resilience
 
 import (
+	"errors"
 	"fmt"
 
 	"afsysbench/internal/rng"
@@ -99,6 +100,29 @@ func (e ErrDBUnavailable) Error() string {
 
 // Unwrap exposes the final attempt's fault.
 func (e ErrDBUnavailable) Unwrap() error { return e.Cause }
+
+// ErrOverloaded is the admission-control shed error: a serving queue was
+// full when the request arrived, so it was rejected deterministically at
+// the door instead of growing an unbounded backlog. Callers (HTTP 503,
+// load generators) treat it as a distinct outcome class from failures —
+// the request was never started.
+type ErrOverloaded struct {
+	// Queued is the queue occupancy observed at rejection time.
+	Queued int
+	// Capacity is the configured queue bound.
+	Capacity int
+}
+
+// Error implements error.
+func (e ErrOverloaded) Error() string {
+	return fmt.Sprintf("resilience: overloaded: admission queue full (%d/%d)", e.Queued, e.Capacity)
+}
+
+// IsOverloaded reports whether err is an admission-control rejection.
+func IsOverloaded(err error) bool {
+	var eo ErrOverloaded
+	return errors.As(err, &eo)
+}
 
 // ErrStageTimeout is returned when a pipeline stage cannot complete inside
 // its deadline: the wall-clock context expired, or a modeled stage budget

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"afsysbench/internal/cache"
+	"afsysbench/internal/resilience"
+	"afsysbench/internal/stats"
+)
+
+func msToDuration(ms int) time.Duration {
+	return time.Duration(ms) * time.Millisecond
+}
+
+// SubmitRequest is the POST /v1/submit payload.
+type SubmitRequest struct {
+	Sample string `json:"sample"`
+	// Threads overrides the server default (0 = default).
+	Threads int `json:"threads,omitempty"`
+	// TimeoutMs is the per-request wall deadline in milliseconds
+	// (0 = server default).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// SubmitResponse is the POST /v1/submit success payload.
+type SubmitResponse struct {
+	ID string `json:"id"`
+}
+
+// Percentiles summarizes completed-request wall latency.
+type Percentiles struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// MetricsSnapshot is the GET /v1/metrics payload: operational counters,
+// cache counters, and the latency summary over terminal requests.
+type MetricsSnapshot struct {
+	Counters map[string]int64 `json:"counters"`
+	Cache    cache.Stats      `json:"cache"`
+	Latency  Percentiles      `json:"latency"`
+}
+
+// MetricsSnapshot assembles the current metrics view.
+func (s *Server) MetricsSnapshot() MetricsSnapshot {
+	s.mu.Lock()
+	var walls []float64
+	for _, job := range s.order {
+		if job.state == StateDone {
+			walls = append(walls, job.wallSeconds*1000)
+		}
+	}
+	s.mu.Unlock()
+	return MetricsSnapshot{
+		Counters: s.cfg.Metrics.Snapshot(),
+		Cache:    s.cfg.Cache.Stats(),
+		Latency:  Summarize(walls),
+	}
+}
+
+// Summarize reduces a millisecond latency series to its percentiles.
+func Summarize(ms []float64) Percentiles {
+	p := Percentiles{Count: len(ms)}
+	if len(ms) == 0 {
+		return p
+	}
+	p.MeanMs = stats.Mean(ms)
+	p.P50Ms = stats.Percentile(ms, 50)
+	p.P95Ms = stats.Percentile(ms, 95)
+	p.P99Ms = stats.Percentile(ms, 99)
+	p.MaxMs = stats.Max(ms)
+	return p
+}
+
+// NewHandler exposes the server over HTTP:
+//
+//	POST /v1/submit    {"sample":"1YY9"}        -> 202 {"id":"j0000-1YY9"}
+//	GET  /v1/jobs/{id}                          -> JobStatus (404 unknown)
+//	GET  /v1/metrics                            -> MetricsSnapshot
+//	GET  /v1/healthz                            -> 200 ok
+//
+// Submit maps admission shedding to 503 (the load generator counts these
+// against its shed rate) and an unknown sample to 400.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		id, err := s.Submit(Request{
+			Sample:  req.Sample,
+			Threads: req.Threads,
+			Timeout: msToDuration(req.TimeoutMs),
+		})
+		if err != nil {
+			if resilience.IsOverloaded(err) {
+				httpError(w, http.StatusServiceUnavailable, err.Error())
+			} else {
+				httpError(w, http.StatusBadRequest, err.Error())
+			}
+			return
+		}
+		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Status(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

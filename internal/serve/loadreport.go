@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+
+	"afsysbench/internal/cache"
+)
+
+// LoadStats is the measured outcome of driving one server configuration
+// with a request mix — the per-configuration row of BENCH_serve.json.
+type LoadStats struct {
+	Label     string `json:"label"`
+	Requests  int    `json:"requests"`
+	Completed int    `json:"completed"`
+	Shed      int    `json:"shed"`
+	Failed    int    `json:"failed"`
+	// WallSeconds is real elapsed time over the run; Throughput is
+	// completed requests per wall second.
+	WallSeconds float64     `json:"wall_seconds"`
+	Throughput  float64     `json:"throughput_rps"`
+	Latency     Percentiles `json:"latency"`
+	// ShedRate is shed / submitted; CacheHitRate is the cache's served
+	// fraction ((hits+shared)/lookups), 0 for a cache-disabled run.
+	ShedRate     float64     `json:"shed_rate"`
+	CacheHitRate float64     `json:"cache_hit_rate"`
+	Cache        cache.Stats `json:"cache"`
+	// Modeled virtual-time accounting for the same trace: the phase-split
+	// makespan at the run's pool sizes, the serial (stock) makespan, and
+	// their ratio.
+	ModeledMakespan float64 `json:"modeled_makespan_seconds"`
+	ModeledSerial   float64 `json:"modeled_serial_seconds"`
+	ModeledSpeedup  float64 `json:"modeled_speedup"`
+}
+
+// LoadReport is the full BENCH_serve.json document: the run parameters,
+// the cache-enabled and cache-disabled passes, and the headline ratio.
+type LoadReport struct {
+	Mix         string `json:"mix"`
+	Requests    int    `json:"requests"`
+	Concurrency int    `json:"concurrency"`
+	Threads     int    `json:"threads"`
+	MSAWorkers  int    `json:"msa_workers"`
+	GPUWorkers  int    `json:"gpu_workers"`
+	QueueDepth  int    `json:"queue_depth"`
+	CacheMB     int    `json:"cache_mb"`
+	Seed        uint64 `json:"seed"`
+
+	WithCache *LoadStats `json:"with_cache,omitempty"`
+	NoCache   *LoadStats `json:"no_cache,omitempty"`
+	// ThroughputSpeedup is with-cache throughput over no-cache throughput
+	// (>1 means the cache pays for itself).
+	ThroughputSpeedup float64 `json:"throughput_speedup,omitempty"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *LoadReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

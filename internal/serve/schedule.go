@@ -1,0 +1,183 @@
+package serve
+
+import "sort"
+
+// The modeled schedule replays the completed request trace on a virtual
+// clock: W CPU workers execute the charged MSA seconds of each request
+// (zero on a cache hit) and G GPU workers execute the modeled inference
+// seconds, with every request's inference eligible the moment its MSA
+// finishes. It is the serving analogue of the paper's phase accounting —
+// the single-run pipeline shows MSA dominating wall time (Figure 7); the
+// schedule shows what phase-split pipelining and caching recover of it at
+// deployment scale. Being post-hoc and deterministic, it also gives
+// benchmarks a wall-clock-independent makespan to compare configurations
+// on.
+
+// ScheduleItem is one request's placement in the modeled schedule. Times
+// are virtual seconds from the start of the trace.
+type ScheduleItem struct {
+	ID        string  `json:"id"`
+	Sample    string  `json:"sample"`
+	CacheHit  bool    `json:"cache_hit"`
+	CPUWorker int     `json:"cpu_worker"`
+	GPUWorker int     `json:"gpu_worker"`
+	MSAStart  float64 `json:"msa_start"`
+	MSAEnd    float64 `json:"msa_end"`
+	InfStart  float64 `json:"inf_start"`
+	InfEnd    float64 `json:"inf_end"`
+}
+
+// Schedule is the modeled execution of a completed trace.
+type Schedule struct {
+	CPUWorkers int            `json:"cpu_workers"`
+	GPUWorkers int            `json:"gpu_workers"`
+	Items      []ScheduleItem `json:"items"`
+	// Makespan is the virtual end of the last inference; CPUBusy and
+	// GPUBusy are the summed stage seconds actually charged.
+	Makespan float64 `json:"makespan_seconds"`
+	CPUBusy  float64 `json:"cpu_busy_seconds"`
+	GPUBusy  float64 `json:"gpu_busy_seconds"`
+}
+
+// Throughput returns modeled requests per second over the makespan.
+func (s Schedule) Throughput() float64 {
+	if s.Makespan <= 0 {
+		return 0
+	}
+	return float64(len(s.Items)) / s.Makespan
+}
+
+// CPUUtilPct returns the CPU pool's busy fraction of the makespan.
+func (s Schedule) CPUUtilPct() float64 {
+	if s.Makespan <= 0 || s.CPUWorkers <= 0 {
+		return 0
+	}
+	return 100 * s.CPUBusy / (s.Makespan * float64(s.CPUWorkers))
+}
+
+// GPUUtilPct returns the GPU pool's busy fraction of the makespan.
+func (s Schedule) GPUUtilPct() float64 {
+	if s.Makespan <= 0 || s.GPUWorkers <= 0 {
+		return 0
+	}
+	return 100 * s.GPUBusy / (s.Makespan * float64(s.GPUWorkers))
+}
+
+// ModeledSchedule replays the server's completed jobs (submit order) on a
+// virtual clock with cpuWorkers MSA lanes and gpuWorkers inference lanes.
+// Stage durations are the modeled seconds each request was charged — a
+// cache hit charges zero MSA seconds, which is exactly how a hit buys
+// throughput. Failed or in-flight jobs are excluded. The replay is
+// list scheduling: each MSA goes to the earliest-free CPU lane in submit
+// order; each inference goes to the earliest-free GPU lane in order of
+// MSA completion (ordinal breaks ties), never before its own MSA ends.
+func (s *Server) ModeledSchedule(cpuWorkers, gpuWorkers int) Schedule {
+	if cpuWorkers < 1 {
+		cpuWorkers = 1
+	}
+	if gpuWorkers < 1 {
+		gpuWorkers = 1
+	}
+	s.mu.Lock()
+	type stage struct {
+		id       string
+		sample   string
+		hit      bool
+		ordinal  int
+		msa, inf float64
+	}
+	var done []stage
+	for _, job := range s.order {
+		if job.state != StateDone || job.result == nil {
+			continue
+		}
+		done = append(done, stage{
+			id:      job.id,
+			sample:  job.in.Name,
+			hit:     job.cacheHit,
+			ordinal: job.ordinal,
+			msa:     job.chargedMSASeconds,
+			inf:     job.result.Inference.Total(),
+		})
+	}
+	s.mu.Unlock()
+
+	sched := Schedule{CPUWorkers: cpuWorkers, GPUWorkers: gpuWorkers}
+	if len(done) == 0 {
+		return sched
+	}
+	items := make([]ScheduleItem, len(done))
+	cpuFree := make([]float64, cpuWorkers)
+	for i, st := range done {
+		w := argminLane(cpuFree)
+		start := cpuFree[w]
+		end := start + st.msa
+		cpuFree[w] = end
+		items[i] = ScheduleItem{
+			ID: st.id, Sample: st.sample, CacheHit: st.hit,
+			CPUWorker: w, MSAStart: start, MSAEnd: end,
+		}
+		sched.CPUBusy += st.msa
+	}
+	// Inference dispatch order: MSA completion time, ordinal tie-break —
+	// the deterministic analogue of "whoever's features are ready first".
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if items[ia].MSAEnd != items[ib].MSAEnd {
+			return items[ia].MSAEnd < items[ib].MSAEnd
+		}
+		return done[ia].ordinal < done[ib].ordinal
+	})
+	gpuFree := make([]float64, gpuWorkers)
+	for _, i := range order {
+		g := argminLane(gpuFree)
+		start := gpuFree[g]
+		if items[i].MSAEnd > start {
+			start = items[i].MSAEnd
+		}
+		end := start + done[i].inf
+		gpuFree[g] = end
+		items[i].GPUWorker = g
+		items[i].InfStart = start
+		items[i].InfEnd = end
+		sched.GPUBusy += done[i].inf
+		if end > sched.Makespan {
+			sched.Makespan = end
+		}
+	}
+	sched.Items = items
+	return sched
+}
+
+// SerialMakespan returns the modeled makespan of the same completed trace
+// run the stock way: one request at a time, MSA then inference, no
+// overlap — the paper's one-container-per-request deployment. The ratio
+// against ModeledSchedule(...).Makespan is the phase-split speedup.
+func (s *Server) SerialMakespan() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total float64
+	for _, job := range s.order {
+		if job.state != StateDone || job.result == nil {
+			continue
+		}
+		total += job.chargedMSASeconds + job.result.Inference.Total()
+	}
+	return total
+}
+
+// argminLane returns the index of the smallest value (lowest index wins
+// ties), keeping lane assignment deterministic.
+func argminLane(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

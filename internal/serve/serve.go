@@ -1,0 +1,602 @@
+// Package serve is the throughput-oriented serving subsystem: it turns the
+// single-run pipeline of internal/core into a multi-request scheduler for
+// the ROADMAP's "heavy traffic" north star.
+//
+// The paper's central observation is that AF3 is two workloads glued
+// together — a CPU/IO-bound MSA search and a GPU-bound inference — and
+// that stock AF3 serializes them per request inside one container, leaving
+// each resource idle half the time. Following ParaFold (PAPERS.md), the
+// scheduler here decomposes every request into an MSA stage and an
+// inference stage and runs them on separate bounded worker pools: a CPU
+// pool sized to cores (internal/parallel) and a "GPU" pool sized to the
+// machine's modeled accelerator count (internal/simgpu). Stages pipeline
+// naturally — the MSA search for request N+1 overlaps inference for
+// request N — and a content-addressed cache (internal/cache) short-circuits
+// the MSA stage entirely for repeated queries, the AF_Cache observation
+// that screening traffic is massively redundant.
+//
+// Admission control is a bounded queue with deterministic load shedding
+// (resilience.ErrOverloaded): a request is rejected at the door, never
+// half-executed. Per-request deadlines thread through the same context
+// machinery the resilience layer added to the pipeline, so an expired
+// request surfaces as resilience.ErrStageTimeout and sheds cleanly at the
+// next stage boundary.
+//
+// Determinism contract: per-request results are computed with a canonical
+// run index (no repeat-run jitter) and the deterministic kernels below, so
+// a given request trace produces bitwise-identical per-request results at
+// any pool size, with or without the cache. Admission decisions depend
+// only on queue occupancy, so a trace submitted synchronously sheds
+// identically for a fixed queue bound.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"afsysbench/internal/cache"
+	"afsysbench/internal/core"
+	"afsysbench/internal/inputs"
+	"afsysbench/internal/metering"
+	"afsysbench/internal/parallel"
+	"afsysbench/internal/platform"
+	"afsysbench/internal/resilience"
+	"afsysbench/internal/simgpu"
+)
+
+// State is a job's position in the serving pipeline.
+type State int
+
+const (
+	// StateQueued: admitted, waiting for an MSA worker.
+	StateQueued State = iota
+	// StateMSA: the MSA stage is running (or being fetched from cache).
+	StateMSA
+	// StateInference: the inference stage is running or queued on the GPU
+	// pool.
+	StateInference
+	// StateDone: finished successfully; the result is available.
+	StateDone
+	// StateFailed: terminated by error (deadline, OOM gate, fault).
+	StateFailed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateMSA:
+		return "msa"
+	case StateInference:
+		return "inference"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Request is one prediction submission.
+type Request struct {
+	// Sample is the Table II sample name to predict.
+	Sample string
+	// Threads overrides the server's per-request worker count (0 = server
+	// default).
+	Threads int
+	// Timeout is the per-request wall-clock deadline covering queue wait
+	// and both stages (0 = the server's DefaultTimeout; negative = none
+	// even if the server has a default).
+	Timeout time.Duration
+}
+
+// Config tunes a Server. Zero values mean: paper Server platform, AF3's
+// 8-thread default per request, an MSA pool sized to cores, a GPU pool
+// sized to the machine's modeled accelerator count, a 64-deep admission
+// queue, no cache, no deadline, persistent (warm) model state.
+type Config struct {
+	Machine platform.Machine
+	// Threads is the default per-request worker count for the MSA scan and
+	// compute kernels.
+	Threads int
+	// MSAWorkers bounds concurrent MSA stages (the CPU pool).
+	MSAWorkers int
+	// GPUWorkers bounds concurrent inference stages (the accelerator pool).
+	GPUWorkers int
+	// QueueDepth bounds the admission queue; a submit that finds it full
+	// is shed with resilience.ErrOverloaded.
+	QueueDepth int
+	// Cache is the content-addressed MSA/feature cache; nil disables
+	// caching (every request pays its MSA search).
+	Cache *cache.Cache
+	// DefaultTimeout is the per-request wall deadline when the request
+	// does not set one (0 = none).
+	DefaultTimeout time.Duration
+	// Budget caps modeled per-stage time per request (the resilience
+	// degradation ladder applies, exactly as in single-run mode).
+	Budget resilience.StageBudget
+	// ColdModel disables the §VI persistent-model optimization: every
+	// request pays GPU init + XLA compile (stock one-container-per-request
+	// deployment). The default keeps the model resident.
+	ColdModel bool
+	// Metrics receives operational counters; nil creates a private
+	// registry (exposed via MetricsSnapshot and the /v1/metrics endpoint).
+	Metrics *metering.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machine.Name == "" {
+		c.Machine = platform.Server()
+	}
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.MSAWorkers <= 0 {
+		c.MSAWorkers = parallel.DefaultWorkers()
+	}
+	if c.GPUWorkers <= 0 {
+		c.GPUWorkers = simgpu.Devices(c.Machine)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Metrics == nil {
+		c.Metrics = metering.NewRegistry()
+	}
+	return c
+}
+
+// Job is one admitted request moving through the pipeline. All mutable
+// fields are guarded by the owning Server's mutex; read them through
+// Status and Result.
+type Job struct {
+	id        string
+	ordinal   int
+	in        *inputs.Input
+	machine   platform.Machine
+	threads   int
+	deadline  time.Time
+	submitted time.Time
+
+	state    State
+	cacheHit bool
+	err      error
+	errClass string
+	msaPhase *core.MSAPhase
+	result   *core.PipelineResult
+	// chargedMSASeconds is the modeled MSA time this request actually paid:
+	// the phase time on a miss, zero on a cache hit (the fetch is free at
+	// model scale). The modeled scheduler and the per-job status use it.
+	chargedMSASeconds float64
+	wallSeconds       float64
+}
+
+// JobStatus is a point-in-time snapshot of one job, also the HTTP
+// status-endpoint payload.
+type JobStatus struct {
+	ID       string `json:"id"`
+	Sample   string `json:"sample"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+	// MSASeconds is the modeled MSA time charged to this request (0 on a
+	// cache hit); InferenceSeconds the modeled inference time.
+	MSASeconds       float64 `json:"msa_seconds"`
+	InferenceSeconds float64 `json:"inference_seconds"`
+	Degraded         bool    `json:"degraded,omitempty"`
+	Error            string  `json:"error,omitempty"`
+	ErrorClass       string  `json:"error_class,omitempty"`
+	WallMs           float64 `json:"wall_ms,omitempty"`
+}
+
+// Server is the phase-split scheduler. Build with New (or NewWithSuite),
+// Submit requests at any time after construction, call Start to launch the
+// worker pools and Stop to drain and release them.
+type Server struct {
+	suite *core.Suite
+	cfg   Config
+
+	mu      sync.Mutex
+	idle    sync.Cond // signaled when pending reaches 0
+	jobs    map[string]*Job
+	order   []*Job // admitted jobs in submit order
+	pending int    // admitted but not yet terminal
+	started bool
+	stopped bool
+
+	msaQ chan *Job
+	infQ chan *Job
+	wgA  sync.WaitGroup // MSA workers
+	wgB  sync.WaitGroup // GPU workers
+}
+
+// New builds a server with its own suite instance (synthetic databases,
+// AF3-scale model).
+func New(cfg Config) (*Server, error) {
+	suite, err := core.NewSuite()
+	if err != nil {
+		return nil, err
+	}
+	return NewWithSuite(suite, cfg), nil
+}
+
+// NewWithSuite builds a server over an existing suite — tests and
+// in-process load generators share one suite to avoid rebuilding the
+// synthetic databases per server.
+func NewWithSuite(suite *core.Suite, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		suite: suite,
+		cfg:   cfg,
+		jobs:  make(map[string]*Job),
+		msaQ:  make(chan *Job, cfg.QueueDepth),
+		infQ:  make(chan *Job, cfg.QueueDepth),
+	}
+	s.idle.L = &s.mu
+	return s
+}
+
+// Config returns the server's effective (default-filled) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Metrics returns the server's counter registry.
+func (s *Server) Metrics() *metering.Registry { return s.cfg.Metrics }
+
+// Start launches the MSA and GPU worker pools. Requests submitted before
+// Start wait in the admission queue (which is what makes shed decisions a
+// pure function of the trace and the queue bound under test).
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	for i := 0; i < s.cfg.MSAWorkers; i++ {
+		s.wgA.Add(1)
+		go s.msaWorker()
+	}
+	for i := 0; i < s.cfg.GPUWorkers; i++ {
+		s.wgB.Add(1)
+		go s.gpuWorker()
+	}
+}
+
+// Stop drains the pipeline — queued jobs still execute — and releases
+// every worker goroutine. Submits after Stop are rejected. Safe to call
+// once; a never-started server just marks itself stopped.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	started := s.started
+	s.mu.Unlock()
+	close(s.msaQ)
+	if started {
+		s.wgA.Wait()
+	}
+	close(s.infQ)
+	if started {
+		s.wgB.Wait()
+	}
+}
+
+// Submit admits one request or sheds it. The decision is synchronous and
+// deterministic: if the admission queue has a free slot the job is queued
+// and its ID returned; otherwise resilience.ErrOverloaded comes back and
+// the server state is untouched. Unknown samples are rejected before
+// admission.
+func (s *Server) Submit(req Request) (string, error) {
+	in, err := inputs.ByName(req.Sample)
+	if err != nil {
+		return "", err
+	}
+	threads := req.Threads
+	if threads <= 0 {
+		threads = s.cfg.Threads
+	}
+	now := time.Now()
+	var deadline time.Time
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		deadline = now.Add(timeout)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return "", errors.New("serve: server stopped")
+	}
+	job := &Job{
+		ordinal:   len(s.order),
+		in:        in,
+		machine:   core.MachineFor(in, s.cfg.Machine),
+		threads:   threads,
+		deadline:  deadline,
+		submitted: now,
+		state:     StateQueued,
+	}
+	job.id = fmt.Sprintf("j%04d-%s", job.ordinal, in.Name)
+	select {
+	case s.msaQ <- job:
+	default:
+		s.cfg.Metrics.Add("requests_shed", 1)
+		return "", resilience.ErrOverloaded{Queued: len(s.msaQ), Capacity: cap(s.msaQ)}
+	}
+	s.jobs[job.id] = job
+	s.order = append(s.order, job)
+	s.pending++
+	s.cfg.Metrics.Add("requests_admitted", 1)
+	return job.id, nil
+}
+
+// WaitIdle blocks until every admitted job has reached a terminal state
+// (or ctx is done). The server must be started, or undrained jobs wait
+// forever.
+func (s *Server) WaitIdle(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.pending > 0 {
+			s.idle.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Wake the waiter goroutine so it can observe and exit; pending
+		// jobs keep running.
+		s.mu.Lock()
+		s.idle.Broadcast()
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Status returns a snapshot of one job.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return s.statusLocked(job), true
+}
+
+// Statuses returns snapshots of all admitted jobs in submit order.
+func (s *Server) Statuses() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, len(s.order))
+	for i, job := range s.order {
+		out[i] = s.statusLocked(job)
+	}
+	return out
+}
+
+func (s *Server) statusLocked(job *Job) JobStatus {
+	st := JobStatus{
+		ID:       job.id,
+		Sample:   job.in.Name,
+		State:    job.state.String(),
+		CacheHit: job.cacheHit,
+	}
+	if job.err != nil {
+		st.Error = job.err.Error()
+		st.ErrorClass = job.errClass
+	}
+	if job.state == StateDone || job.state == StateFailed {
+		st.WallMs = job.wallSeconds * 1000
+	}
+	if job.result != nil {
+		st.MSASeconds = job.chargedMSASeconds
+		st.InferenceSeconds = job.result.Inference.Total()
+		st.Degraded = job.result.Resilience.Degraded
+	}
+	return st
+}
+
+// Result returns the completed pipeline result for a job (nil, false until
+// StateDone).
+func (s *Server) Result(id string) (*core.PipelineResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok || job.result == nil {
+		return nil, false
+	}
+	return job.result, true
+}
+
+// pipelineOpts builds the per-request options. RunIndex is pinned to 0 —
+// the canonical, jitter-free timing draw — so results are a pure function
+// of (sample, threads, machine, database set) and therefore identical
+// across pool sizes and safe to share through the cache. FreshMSA keeps
+// the suite's experiment memo out of the serving path: internal/cache is
+// the only reuse layer.
+func (s *Server) pipelineOpts(job *Job) core.PipelineOptions {
+	return core.PipelineOptions{
+		Threads:   job.threads,
+		RunIndex:  0,
+		WarmStart: !s.cfg.ColdModel,
+		Budget:    s.cfg.Budget,
+		FreshMSA:  true,
+	}
+}
+
+// msaKey is the content address of a request's MSA phase: everything that
+// determines the phase result goes in — the query content, the database
+// set identity (msa.DBSet.Fingerprint), the machine the storage/CPU models
+// replay on, the thread count that shapes the scan, the suite seed behind
+// the timing model, and the stage budget that can trigger degradation.
+func (s *Server) msaKey(job *Job) string {
+	return cache.Key(
+		"msa-phase/v1",
+		inputFingerprint(job.in),
+		s.suite.DBs.Fingerprint(),
+		job.machine.Name,
+		strconv.Itoa(job.threads),
+		fmt.Sprintf("seed=%x", s.suite.Seed),
+		fmt.Sprintf("budget=%g", s.cfg.Budget.MSASeconds),
+	)
+}
+
+// inputFingerprint serializes the content of an input that the MSA phase
+// depends on: every chain's molecule type, copy count and residues. The
+// name is included because the deterministic timing model derives its
+// per-sample draw from it.
+func inputFingerprint(in *inputs.Input) string {
+	var b strings.Builder
+	b.WriteString(in.Name)
+	for _, c := range in.Chains {
+		fmt.Fprintf(&b, ";%d|%d|%s|%s", c.Sequence.Type, len(c.IDs), c.Sequence.ID, c.Sequence.Letters())
+	}
+	return b.String()
+}
+
+func (s *Server) msaWorker() {
+	defer s.wgA.Done()
+	for job := range s.msaQ {
+		s.runMSA(job)
+	}
+}
+
+func (s *Server) gpuWorker() {
+	defer s.wgB.Done()
+	for job := range s.infQ {
+		s.runInference(job)
+	}
+}
+
+// jobCtx derives the request's wall-clock context from its deadline.
+func (s *Server) jobCtx(job *Job) (context.Context, context.CancelFunc) {
+	if job.deadline.IsZero() {
+		return context.WithCancel(context.Background())
+	}
+	return context.WithDeadline(context.Background(), job.deadline)
+}
+
+// runMSA executes (or fetches) the MSA stage for one job and hands it to
+// the GPU pool. The send into the inference queue blocks when the GPU pool
+// is saturated — that backpressure is the pipelining: this MSA worker
+// pauses instead of racing ahead unboundedly.
+func (s *Server) runMSA(job *Job) {
+	s.setState(job, StateMSA)
+	s.cfg.Metrics.Add("msa_stage_runs", 1)
+	ctx, cancel := s.jobCtx(job)
+	defer cancel()
+	opts := s.pipelineOpts(job)
+	v, hit, err := s.cfg.Cache.GetOrCompute(s.msaKey(job), func() (any, int64, error) {
+		mp, err := s.suite.RunMSAPhase(ctx, job.in, job.machine, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return mp, mp.SizeBytes(), nil
+	})
+	if err != nil {
+		s.fail(job, err)
+		return
+	}
+	mp := v.(*core.MSAPhase)
+	s.mu.Lock()
+	job.msaPhase = mp
+	job.cacheHit = hit
+	if hit {
+		job.chargedMSASeconds = 0
+	} else {
+		job.chargedMSASeconds = mp.Seconds
+	}
+	s.mu.Unlock()
+	if hit {
+		s.cfg.Metrics.Add("msa_cache_hits", 1)
+	}
+	s.infQ <- job
+}
+
+// runInference executes the inference stage and completes the job.
+func (s *Server) runInference(job *Job) {
+	s.setState(job, StateInference)
+	s.cfg.Metrics.Add("inference_stage_runs", 1)
+	ctx, cancel := s.jobCtx(job)
+	defer cancel()
+	opts := s.pipelineOpts(job)
+	pb, err := s.suite.RunInferencePhase(ctx, job.in, job.machine, opts)
+	if err != nil {
+		s.fail(job, err)
+		return
+	}
+	res := core.ComposeResult(job.in, job.machine, job.threads, job.msaPhase, pb)
+	s.mu.Lock()
+	job.result = res
+	job.state = StateDone
+	job.wallSeconds = time.Since(job.submitted).Seconds()
+	s.terminalLocked()
+	s.mu.Unlock()
+	s.cfg.Metrics.Add("requests_completed", 1)
+	if res.Resilience.Degraded {
+		s.cfg.Metrics.Add("requests_degraded", 1)
+	}
+}
+
+// ErrorClass buckets a request failure for metrics, exit codes and the
+// HTTP API: "timeout" (deadline or stage budget), "oom" (the §VI memory
+// gate), "overloaded" (admission shed), "error" otherwise.
+func ErrorClass(err error) string {
+	var st resilience.ErrStageTimeout
+	var oom core.ErrProjectedOOM
+	switch {
+	case errors.As(err, &st),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return "timeout"
+	case errors.As(err, &oom):
+		return "oom"
+	case resilience.IsOverloaded(err):
+		return "overloaded"
+	default:
+		return "error"
+	}
+}
+
+func (s *Server) fail(job *Job, err error) {
+	class := ErrorClass(err)
+	s.mu.Lock()
+	job.err = err
+	job.errClass = class
+	job.state = StateFailed
+	job.wallSeconds = time.Since(job.submitted).Seconds()
+	s.terminalLocked()
+	s.mu.Unlock()
+	s.cfg.Metrics.Add("requests_failed", 1)
+	s.cfg.Metrics.Add("requests_failed_"+class, 1)
+}
+
+func (s *Server) setState(job *Job, st State) {
+	s.mu.Lock()
+	job.state = st
+	s.mu.Unlock()
+}
+
+func (s *Server) terminalLocked() {
+	s.pending--
+	if s.pending == 0 {
+		s.idle.Broadcast()
+	}
+}

@@ -91,6 +91,17 @@ func effFor(module, layer string) classEff {
 	}
 }
 
+// Devices returns the machine's modeled accelerator count, at least 1.
+// The serving scheduler's inference pool is sized to it: one in-flight
+// prediction per device, matching AF3's one-model-per-GPU execution (no
+// intra-request multi-GPU parallelism in the paper's deployments).
+func Devices(mach platform.Machine) int {
+	if mach.GPU.Devices < 1 {
+		return 1
+	}
+	return mach.GPU.Devices
+}
+
 // baseLaunchSeconds is the per-kernel dispatch cost when driven by a 5.6
 // GHz host core; slower hosts dispatch proportionally slower (single host
 // thread, paper Section V-B3a).

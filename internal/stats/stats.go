@@ -89,6 +89,32 @@ func Median(xs []float64) float64 {
 	return (cp[n/2-1] + cp[n/2]) / 2
 }
 
+// Percentile returns the p-th percentile of xs (p in [0,100]) by linear
+// interpolation between order statistics on a sorted copy — the serving
+// layer's latency summary (p50/p95/p99). Empty input returns 0; p is
+// clamped to the valid range.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
 // Speedup converts a time-vs-threads series into speedup relative to the
 // first entry: speedup[i] = times[0]/times[i]. A zero or negative time
 // yields a 0 entry.

@@ -173,3 +173,49 @@ func TestQuickCVNonNegative(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	xs := []float64{4, 1, 3, 2} // unsorted input; must not be mutated
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); !approx(got, 2.5, 1e-12) {
+		t.Errorf("p50 = %v, want 2.5", got)
+	}
+	if got := Percentile(xs, 75); !approx(got, 3.25, 1e-12) {
+		t.Errorf("p75 = %v, want 3.25", got)
+	}
+	if xs[0] != 4 || xs[3] != 2 {
+		t.Error("input slice mutated")
+	}
+	// Clamping beyond the valid range.
+	if Percentile(xs, -5) != 1 || Percentile(xs, 200) != 4 {
+		t.Error("p outside [0,100] not clamped")
+	}
+	// Single element: every percentile is that element.
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Error("single-element percentile")
+	}
+	// Percentiles are monotone in p.
+	if err := quick.Check(func(raw []float64, p1, p2 float64) bool {
+		var clean []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		lo, hi := math.Mod(math.Abs(p1), 100), math.Mod(math.Abs(p2), 100)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Percentile(clean, lo) <= Percentile(clean, hi)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
