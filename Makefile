@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race faults bench serve-bench serve-smoke
+.PHONY: all build test check fmt vet race faults bench bench-msa bench-msa-smoke serve-bench serve-smoke
 
 all: build
 
@@ -23,11 +23,12 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Race-check the concurrent hot path: the parallel engine itself, the three
-# packages whose kernels shard over it, and the serving subsystem (cache
-# singleflight, scheduler pools).
+# Race-check the concurrent hot path: the parallel engine itself, the
+# packages whose kernels shard over it (including the hmmer scan-workspace
+# pool that msa workers draw from concurrently), and the serving subsystem
+# (cache singleflight, scheduler pools).
 race:
-	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion ./internal/cache ./internal/serve
+	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion ./internal/cache ./internal/serve ./internal/hmmer ./internal/msa
 
 # Fault-injection and degradation suite under the race detector: the
 # resilience package, the cancellation paths through the scan engine, and
@@ -36,11 +37,23 @@ faults:
 	$(GO) test -race ./internal/resilience
 	$(GO) test -race -run 'Ctx|Cancel|Fault|Resilience|Transient|Permanent|StageBudget|MemSpike|Stall|Stream|ExitCode|GoldenRun' ./internal/parallel ./internal/simio ./internal/hmmer ./internal/msa ./internal/core ./cmd/afsysbench
 
-check: fmt vet test race faults serve-smoke
+check: fmt vet test race faults bench-msa-smoke serve-smoke
 
 # Kernel microbenchmarks with allocation tracking (serial vs parallel).
 bench:
 	$(GO) test -run xxx -bench 'MatMul|TriangleAttention|BlockApply|DiffusionDenoise' -benchmem ./internal/tensor ./internal/pairformer ./internal/diffusion
+
+# MSA scan hot-path benchmarks: the optimized kernel cascade (transposed
+# layout, pooled workspaces, pruning) against the pre-optimization reference
+# kernels, plus the 0-alloc steady-state path. Emits BENCH_msa.json with a
+# benchstat-compatible extract inside.
+bench-msa:
+	$(GO) test -run '^$$' -bench 'BenchmarkScan' -benchmem -benchtime 2s -count 3 ./internal/hmmer | $(GO) run ./cmd/afbenchjson -o BENCH_msa.json
+
+# Smoke variant for the check gate: one iteration per benchmark, no artifact
+# left behind, just proof the harness runs end to end.
+bench-msa-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkScan' -benchmem -benchtime 1x ./internal/hmmer | $(GO) run ./cmd/afbenchjson -o /tmp/BENCH_msa_smoke.json
 
 # Serving benchmark: a repeat-heavy closed-loop mix through the phase-split
 # scheduler, with and without the MSA cache. Emits BENCH_serve.json.

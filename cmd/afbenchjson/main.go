@@ -1,0 +1,118 @@
+// Command afbenchjson converts `go test -bench` text output (read from
+// stdin) into a small JSON artifact. The artifact keeps the raw benchmark
+// lines verbatim in a "benchstat" field — so `benchstat` can be pointed at
+// the extracted text for A/B comparison — alongside parsed per-benchmark
+// entries for dashboards and the repo's BENCH_*.json conventions.
+//
+// Usage:
+//
+//	go test -bench Scan -benchmem ./internal/hmmer | afbenchjson -o BENCH_msa.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Artifact is the emitted JSON document.
+type Artifact struct {
+	// Benchstat holds the benchmark-format lines (goos/goarch/pkg/cpu
+	// headers plus Benchmark... results) exactly as Go printed them, ready
+	// to be fed to benchstat.
+	Benchstat string  `json:"benchstat"`
+	Entries   []Entry `json:"entries"`
+}
+
+// parseLine parses one "BenchmarkX-8  123  456 ns/op [789 B/op  12 allocs/op]"
+// line; ok is false for non-benchmark lines.
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			e.NsPerOp = val
+		case "B/op":
+			e.BytesPerOp = int64(val)
+		case "allocs/op":
+			e.AllocsPerOp = int64(val)
+		}
+	}
+	if e.NsPerOp == 0 {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// benchstatLine reports whether a line belongs in the benchstat-compatible
+// extract: result lines plus the context headers benchstat keys on.
+func benchstatLine(line string) bool {
+	t := strings.TrimSpace(line)
+	return strings.HasPrefix(t, "Benchmark") ||
+		strings.HasPrefix(t, "goos:") || strings.HasPrefix(t, "goarch:") ||
+		strings.HasPrefix(t, "pkg:") || strings.HasPrefix(t, "cpu:")
+}
+
+func run(in *bufio.Scanner, outPath string) error {
+	var art Artifact
+	var raw strings.Builder
+	for in.Scan() {
+		line := in.Text()
+		fmt.Println(line) // pass through so the make target stays readable
+		if benchstatLine(line) {
+			raw.WriteString(line)
+			raw.WriteByte('\n')
+		}
+		if e, ok := parseLine(line); ok {
+			art.Entries = append(art.Entries, e)
+		}
+	}
+	if err := in.Err(); err != nil {
+		return err
+	}
+	if len(art.Entries) == 0 {
+		return fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	art.Benchstat = raw.String()
+	data, err := json.MarshalIndent(&art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output JSON path")
+	flag.Parse()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	if err := run(sc, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "afbenchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: afsysbench/internal/hmmer
+cpu: Intel(R) Xeon(R)
+BenchmarkScanProtein/reference 	      54	  44625962 ns/op	 1461356 B/op	    9974 allocs/op
+BenchmarkScanProtein/optimized 	     151	  17105612 ns/op	 1154687 B/op	    9674 allocs/op
+BenchmarkScanRecordSteadyState 	   66019	     17510 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	afsysbench/internal/hmmer	48.095s
+`
+
+func TestParseLine(t *testing.T) {
+	e, ok := parseLine("BenchmarkScanProtein/optimized 	 151 	 17105612 ns/op 	 1154687 B/op 	 9674 allocs/op")
+	if !ok {
+		t.Fatal("result line not parsed")
+	}
+	if e.Name != "BenchmarkScanProtein/optimized" || e.Iterations != 151 ||
+		e.NsPerOp != 17105612 || e.BytesPerOp != 1154687 || e.AllocsPerOp != 9674 {
+		t.Errorf("parsed %+v", e)
+	}
+	for _, bad := range []string{"PASS", "ok  	pkg	1.2s", "goos: linux", "BenchmarkBroken x y"} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("non-result line parsed: %q", bad)
+		}
+	}
+}
+
+func TestRunWritesArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_msa.json")
+	sc := bufio.NewScanner(strings.NewReader(sample))
+	if err := run(sc, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(art.Entries))
+	}
+	if art.Entries[2].AllocsPerOp != 0 || art.Entries[2].NsPerOp != 17510 {
+		t.Errorf("steady-state entry: %+v", art.Entries[2])
+	}
+	// The benchstat extract keeps context headers and results, drops the rest.
+	if !strings.Contains(art.Benchstat, "pkg: afsysbench/internal/hmmer") ||
+		!strings.Contains(art.Benchstat, "BenchmarkScanProtein/reference") {
+		t.Errorf("benchstat extract incomplete:\n%s", art.Benchstat)
+	}
+	if strings.Contains(art.Benchstat, "PASS") {
+		t.Error("benchstat extract kept non-benchmark lines")
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	sc := bufio.NewScanner(strings.NewReader("PASS\n"))
+	if err := run(sc, filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Error("empty benchmark input accepted")
+	}
+}

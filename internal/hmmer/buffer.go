@@ -48,6 +48,15 @@ type Buffer struct {
 	// copy_to_iter.
 	dbFootprint uint64
 	staging     []byte
+	// recycle hands out the same Sequence header and byte buffer on every
+	// Next call instead of fresh allocations. Callers that keep a record
+	// beyond the following Next (e.g. inside a Hit) must clone it first;
+	// scanDB does this lazily per reported record. The addbuf event still
+	// reports Allocated: n either way — it models HMMER's per-record buffer
+	// growth at paper scale, not this process's Go heap.
+	recycle bool
+	out     []byte
+	rec     seq.Sequence
 }
 
 // stagingSize is the user-space lookahead buffer size (matches HMMER's
@@ -66,6 +75,16 @@ func NewBuffer(src RecordSource, dbFootprint uint64, m metering.Meter) *Buffer {
 		dbFootprint: dbFootprint,
 		staging:     make([]byte, 0, stagingSize),
 	}
+}
+
+// NewRecyclingBuffer is NewBuffer with record recycling: the returned record
+// (header and residue bytes) is only valid until the next Next call. This is
+// the steady-state scan configuration — a database pass touches millions of
+// records and the per-record copies are pure garbage once scanned.
+func NewRecyclingBuffer(src RecordSource, dbFootprint uint64, m metering.Meter) *Buffer {
+	b := NewBuffer(src, dbFootprint, m)
+	b.recycle = true
+	return b
 }
 
 // Next returns the next record after pushing it through the instrumented
@@ -95,7 +114,15 @@ func (b *Buffer) Next() (*seq.Sequence, bool) {
 	})
 
 	// addbuf: append into the lookahead window (second real pass).
-	out := make([]byte, len(b.staging))
+	var out []byte
+	if b.recycle {
+		if cap(b.out) < len(b.staging) {
+			b.out = make([]byte, len(b.staging))
+		}
+		out = b.out[:len(b.staging)]
+	} else {
+		out = make([]byte, len(b.staging))
+	}
 	copy(out, b.staging)
 	b.meter.Record(metering.Event{
 		Func:           "addbuf",
@@ -126,5 +153,10 @@ func (b *Buffer) Next() (*seq.Sequence, bool) {
 		BranchMissRate: 0.002,
 	})
 
+	if b.recycle {
+		b.out = out
+		b.rec = seq.Sequence{ID: rec.ID, Type: rec.Type, Residues: out}
+		return &b.rec, true
+	}
 	return &seq.Sequence{ID: rec.ID, Type: rec.Type, Residues: out}, true
 }

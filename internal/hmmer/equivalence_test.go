@@ -1,0 +1,280 @@
+package hmmer
+
+import (
+	"math"
+	"testing"
+
+	"afsysbench/internal/metering"
+	"afsysbench/internal/rng"
+	"afsysbench/internal/seq"
+	"afsysbench/internal/seqdb"
+)
+
+// Layout-equivalence tests: the transposed (MatchT, workspace-backed)
+// kernels must reproduce the reference (column-major, per-call allocation)
+// kernels bitwise — same float bits, not just approximately equal — on both
+// alphabets and on both profile construction paths. These are the guardrail
+// that keeps the optimization a pure layout/allocation change.
+
+// fuzzProfiles builds a mix of query-built and alignment-built profiles for
+// one molecule type from a deterministic generator.
+func fuzzProfiles(t *testing.T, g *seq.Generator, mt seq.MoleculeType) []*Profile {
+	t.Helper()
+	var out []*Profile
+	for _, ln := range []int{7, 40, 133} {
+		q := g.Random("q", mt, ln)
+		p, err := BuildFromQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+		// Alignment-built profile: query plus two mutated rows.
+		rows := [][]byte{
+			append([]byte(nil), q.Residues...),
+			append([]byte(nil), g.Mutate(q, "m1", 0.2).Residues...),
+			append([]byte(nil), g.Mutate(q, "m2", 0.4).Residues...),
+		}
+		ap, err := BuildFromAlignment("ali", mt, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ap)
+	}
+	return out
+}
+
+func f32bits(x float32) uint32 { return math.Float32bits(x) }
+
+func TestTransposedKernelsMatchReferenceBitwise(t *testing.T) {
+	for _, mt := range []seq.MoleculeType{seq.Protein, seq.RNA} {
+		g := seq.NewGenerator(rng.New(31))
+		profiles := fuzzProfiles(t, g, mt)
+		ws := takeScanWorkspace()
+		defer releaseScanWorkspace(ws)
+		for pi, p := range profiles {
+			if !p.transposed() {
+				t.Fatalf("profile %d (%v) missing transposed layout", pi, mt)
+			}
+			for ti := 0; ti < 12; ti++ {
+				target := g.Random("t", mt, 20+17*ti)
+				refHit := referenceMSVFilter(p, target, metering.Nop{})
+				optHit, pruned := msvFilter(p, target, ws, negInf, metering.Nop{})
+				if pruned != 0 {
+					t.Fatalf("unarmed msvFilter pruned %d lanes", pruned)
+				}
+				if f32bits(refHit.Score) != f32bits(optHit.Score) || refHit.Diagonal != optHit.Diagonal {
+					t.Fatalf("%v profile %d target %d: MSV mismatch ref=%+v opt=%+v", mt, pi, ti, refHit, optHit)
+				}
+				for _, d := range []int{optHit.Diagonal, 0, -5, p.M / 2} {
+					refAli := referenceBandedViterbi(p, target, d, BandHalfWidth, metering.Nop{})
+					optAli, bp := bandedViterbi(p, target, d, BandHalfWidth, ws, negInf, metering.Nop{})
+					if bp != 0 {
+						t.Fatalf("unarmed bandedViterbi pruned %d cells", bp)
+					}
+					if f32bits(refAli.Score) != f32bits(optAli.Score) || refAli != optAli {
+						t.Fatalf("%v profile %d target %d diag %d: Viterbi mismatch ref=%+v opt=%+v", mt, pi, ti, d, refAli, optAli)
+					}
+					refF := referenceForward(p, target, d, BandHalfWidth, metering.Nop{})
+					optF := forward(p, target, d, BandHalfWidth, ws, metering.Nop{})
+					if math.Float64bits(refF) != math.Float64bits(optF) {
+						t.Fatalf("%v profile %d target %d diag %d: Forward mismatch ref=%v opt=%v", mt, pi, ti, d, refF, optF)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPublicKernelsUseFallbackWithoutTransposedLayout pins the fallback
+// contract: a hand-assembled profile that never called BuildTransposed still
+// searches correctly through the reference path.
+func TestPublicKernelsUseFallbackWithoutTransposedLayout(t *testing.T) {
+	g := seq.NewGenerator(rng.New(37))
+	q := g.Random("q", seq.Protein, 60)
+	p, err := BuildFromQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := *p
+	stripped.MatchT = nil
+	target := g.Random("t", seq.Protein, 90)
+	if f32bits(MSVFilter(p, target, nil).Score) != f32bits(MSVFilter(&stripped, target, nil).Score) {
+		t.Error("MSV fallback diverges from transposed path")
+	}
+	if BandedViterbi(p, target, 0, BandHalfWidth, nil) != BandedViterbi(&stripped, target, 0, BandHalfWidth, nil) {
+		t.Error("banded Viterbi fallback diverges from transposed path")
+	}
+	a := Forward(p, target, 0, BandHalfWidth, nil)
+	b := Forward(&stripped, target, 0, BandHalfWidth, nil)
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Errorf("Forward fallback diverges: %v vs %v", a, b)
+	}
+}
+
+// sameHits reports whether two hit lists are identical in every scoring
+// field (float comparisons are bitwise).
+func sameHits(a, b []Hit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].TargetID != b[i].TargetID || a[i].Diagonal != b[i].Diagonal ||
+			math.Float64bits(a[i].ViterbiScore) != math.Float64bits(b[i].ViterbiScore) ||
+			math.Float64bits(a[i].ForwardScore) != math.Float64bits(b[i].ForwardScore) ||
+			math.Float64bits(a[i].EValue) != math.Float64bits(b[i].EValue) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPruningPreservesScanResults runs full database scans through the
+// optimized cascade (pruning armed) and through the reference kernels (via a
+// MatchT-stripped profile copy) and requires identical hit lists — the
+// pruning floors are provably conservative, so no reported field may move.
+func TestPruningPreservesScanResults(t *testing.T) {
+	cases := []struct {
+		name string
+		mt   seq.MoleculeType
+		opts SearchOptions
+	}{
+		{"protein-seeded", seq.Protein, SearchOptions{}},
+		{"protein-msv", seq.Protein, SearchOptions{DisableSeedFilter: true}},
+		{"rna-windowed", seq.RNA, SearchOptions{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := seq.NewGenerator(rng.New(41))
+			query := g.Random("query", tc.mt, 120)
+			db := makeDB(t, seqdb.Spec{
+				Name: "eq", Type: tc.mt, NumSeqs: 80, MeanLen: 150,
+				Homologs: []*seq.Sequence{query}, HomologsPerQuery: 6, Seed: 42,
+			})
+			p, err := BuildFromQuery(query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stripped := *p
+			stripped.MatchT = nil
+			opt, err := ScanRecords(p, query, &SliceSource{Seqs: db.Seqs}, db.TotalResidues(), tc.opts, metering.Nop{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := ScanRecords(&stripped, query, &SliceSource{Seqs: db.Seqs}, db.TotalResidues(), tc.opts, metering.Nop{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameHits(opt.Hits, ref.Hits) {
+				t.Fatalf("hit lists diverge:\nopt=%+v\nref=%+v", opt.Hits, ref.Hits)
+			}
+			if opt.Candidates != ref.Candidates || opt.Scanned != ref.Scanned {
+				t.Fatalf("scan stats diverge: opt cand=%d scanned=%d, ref cand=%d scanned=%d",
+					opt.Candidates, opt.Scanned, ref.Candidates, ref.Scanned)
+			}
+			if !tc.opts.DisableSeedFilter {
+				// On the seeded path CellsPruned is exactly the band cells
+				// skipped, so executed + pruned must equal the reference's
+				// full DP volume.
+				if opt.CellsDP+opt.CellsPruned != ref.CellsDP {
+					t.Errorf("cell accounting: opt %d + pruned %d != ref %d",
+						opt.CellsDP, opt.CellsPruned, ref.CellsDP)
+				}
+			}
+		})
+	}
+}
+
+// TestScanDeterministicAcrossWorkerCounts shards the database as msa's
+// scanParallel does and requires the merged result to be identical to the
+// single-shard scan at every worker count — pooled workspaces must not leak
+// state between shards.
+func TestScanDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := seq.NewGenerator(rng.New(43))
+	query := g.Random("query", seq.Protein, 140)
+	db := makeDB(t, seqdb.Spec{
+		Name: "det", Type: seq.Protein, NumSeqs: 90, MeanLen: 140,
+		Homologs: []*seq.Sequence{query}, HomologsPerQuery: 8, Seed: 44,
+	})
+	p, err := BuildFromQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := ScanRecords(p, query, &SliceSource{Seqs: db.Seqs}, db.TotalResidues(), SearchOptions{}, metering.Nop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Hits) == 0 {
+		t.Fatal("scan found no hits; determinism test is vacuous")
+	}
+	for _, workers := range []int{1, 2, 3, 7} {
+		parts := make([]*Result, workers)
+		per := (len(db.Seqs) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * per
+			hi := lo + per
+			if hi > len(db.Seqs) {
+				hi = len(db.Seqs)
+			}
+			if lo >= hi {
+				continue
+			}
+			parts[w], err = ScanRecords(p, query, &SliceSource{Seqs: db.Seqs[lo:hi]}, db.TotalResidues(), SearchOptions{}, metering.Nop{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		merged := MergeResults(query.ID, parts)
+		if !sameHits(merged.Hits, single.Hits) {
+			t.Fatalf("workers=%d: merged hits diverge from single-shard scan", workers)
+		}
+		if merged.CellsDP != single.CellsDP || merged.CellsPruned != single.CellsPruned {
+			t.Fatalf("workers=%d: cell counts diverge: %d/%d vs %d/%d",
+				workers, merged.CellsDP, merged.CellsPruned, single.CellsDP, single.CellsPruned)
+		}
+	}
+}
+
+// TestRecycledRecordsDoNotAliasHits guards the recycling buffer contract:
+// hits must hold stable copies of their targets, not the recycled record.
+func TestRecycledRecordsDoNotAliasHits(t *testing.T) {
+	g := seq.NewGenerator(rng.New(47))
+	query := g.Random("query", seq.Protein, 100)
+	db := makeDB(t, seqdb.Spec{
+		Name: "rec", Type: seq.Protein, NumSeqs: 40, MeanLen: 120,
+		Homologs: []*seq.Sequence{query}, HomologsPerQuery: 5, Seed: 48,
+	})
+	res, err := ScanRecords(BuildMust(t, query), query, &SliceSource{Seqs: db.Seqs}, db.TotalResidues(), SearchOptions{}, metering.Nop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("no hits; aliasing test is vacuous")
+	}
+	byID := map[string]*seq.Sequence{}
+	for _, s := range db.Seqs {
+		byID[s.ID] = s
+	}
+	for _, h := range res.Hits {
+		want := byID[h.TargetID]
+		if want == nil {
+			t.Fatalf("hit for unknown target %s", h.TargetID)
+		}
+		if h.Target.Len() != want.Len() {
+			t.Fatalf("hit %s target length %d, want %d (recycled buffer leaked)", h.TargetID, h.Target.Len(), want.Len())
+		}
+		for i := range want.Residues {
+			if h.Target.Residues[i] != want.Residues[i] {
+				t.Fatalf("hit %s residues corrupted at %d (recycled buffer leaked)", h.TargetID, i)
+			}
+		}
+	}
+}
+
+func BuildMust(t *testing.T, q *seq.Sequence) *Profile {
+	t.Helper()
+	p, err := BuildFromQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -13,10 +13,28 @@ import (
 // best-path) and runs only on Viterbi survivors; its score feeds the
 // E-value.
 func Forward(p *Profile, target *seq.Sequence, diagonal, halfWidth int, m metering.Meter) float64 {
+	if m == nil {
+		m = metering.Nop{}
+	}
+	if !p.transposed() {
+		return referenceForward(p, target, diagonal, halfWidth, m)
+	}
+	ws := takeScanWorkspace()
+	f := forward(p, target, diagonal, halfWidth, ws, m)
+	releaseScanWorkspace(ws)
+	return f
+}
+
+// forward is the workspace-backed Forward kernel: identical recurrence to
+// referenceForward, with residue-major emission reads and pooled rows.
+func forward(p *Profile, target *seq.Sequence, diagonal, halfWidth int, ws *scanWorkspace, m metering.Meter) float64 {
+	if !p.transposed() {
+		return referenceForward(p, target, diagonal, halfWidth, m)
+	}
 	L := target.Len()
+	M := p.M
 	w := 2*halfWidth + 1
-	prev := make([]float64, w)
-	cur := make([]float64, w)
+	prev, cur := ws.forwardRows(w)
 	for i := range prev {
 		prev[i] = math.Inf(-1)
 	}
@@ -24,18 +42,16 @@ func Forward(p *Profile, target *seq.Sequence, diagonal, halfWidth int, m meteri
 	var cells uint64
 	for i := 0; i < L; i++ {
 		r := int(target.Residues[i])
+		rowT := p.MatchT[r*M : (r+1)*M]
 		lo := i + diagonal - halfWidth
 		for b := 0; b < w; b++ {
 			j := lo + b
-			if j < 0 || j >= p.M {
+			if j < 0 || j >= M {
 				cur[b] = math.Inf(-1)
 				continue
 			}
 			cells++
-			diag := math.Inf(-1)
-			if b < w {
-				diag = prev[b]
-			}
+			diag := prev[b]
 			up := math.Inf(-1)
 			if b+1 < w {
 				up = prev[b+1] + float64(p.Open)
@@ -46,11 +62,19 @@ func Forward(p *Profile, target *seq.Sequence, diagonal, halfWidth int, m meteri
 			}
 			// Local-alignment start: each cell can begin a fresh path.
 			sum := logSumExp4(diag, up, left, 0)
-			cur[b] = sum + float64(p.Match[j*p.K+r])
+			cur[b] = sum + float64(rowT[j])
 			total = logSumExp2(total, cur[b])
 		}
 		prev, cur = cur, prev
 	}
+	recordForwardEvent(p, w, cells, m)
+	if math.IsInf(total, -1) {
+		return 0
+	}
+	return total
+}
+
+func recordForwardEvent(p *Profile, w int, cells uint64, m metering.Meter) {
 	m.Record(metering.Event{
 		Func:           "forward_band",
 		Instructions:   cells * 30, // exp/log dominated
@@ -60,10 +84,6 @@ func Forward(p *Profile, target *seq.Sequence, diagonal, halfWidth int, m meteri
 		Branches:       cells * 2,
 		BranchMissRate: 0.003,
 	})
-	if math.IsInf(total, -1) {
-		return 0
-	}
-	return total
 }
 
 func logSumExp2(a, b float64) float64 {

@@ -108,5 +108,8 @@ func ReadProfile(r io.Reader) (*Profile, error) {
 		}
 		p.Match[i] = math.Float32frombits(binary.BigEndian.Uint32(buf))
 	}
+	// Only Match is serialized; rebuild the derived scan layout so loaded
+	// profiles run the same transposed kernels as freshly built ones.
+	p.BuildTransposed()
 	return p, nil
 }

@@ -1,6 +1,8 @@
 package hmmer
 
 import (
+	"math"
+
 	"afsysbench/internal/metering"
 	"afsysbench/internal/seq"
 )
@@ -12,48 +14,142 @@ type MSVHit struct {
 	Diagonal int // j - i offset of the best diagonal (profile col - target pos)
 }
 
+// msvDead is the sentinel a pruned diagonal's run slot is parked at. It is
+// far below any reachable running score (which Kadane clamps at >= 0), so a
+// plain equality test identifies dead lanes. Distinct from negInf so a dead
+// slot can never be mistaken for a DP initialization value.
+const msvDead float32 = -2e30
+
+// pruneMargin is the slack subtracted from a pruning floor to absorb
+// float32 accumulation error: rem sequential adds of values bounded by a
+// few hundred drift by well under rem*1e-4, and the constant term covers
+// the float32 conversion of the threshold itself. Overshooting the margin
+// only costs missed pruning, never a wrong result.
+func pruneMargin(rem int) float32 {
+	return 1 + float32(rem)*1e-4
+}
+
 // MSVFilter computes the maximal ungapped diagonal segment score between the
 // profile and the target — the analog of HMMER's MSV/SSV long-target filter.
 // It runs Kadane's maximum-subarray scan along every diagonal of the
 // (target × profile) matrix. It is the cheap O(M·L) pass that every database
 // record goes through; only survivors proceed to the banded Viterbi kernels.
 func MSVFilter(p *Profile, target *seq.Sequence, m metering.Meter) MSVHit {
+	if m == nil {
+		m = metering.Nop{}
+	}
+	if !p.transposed() {
+		return referenceMSVFilter(p, target, m)
+	}
+	ws := takeScanWorkspace()
+	hit, _ := msvFilter(p, target, ws, negInf, m)
+	releaseScanWorkspace(ws)
+	return hit
+}
+
+// msvFilter is the workspace-backed scan. With threshold = negInf it is
+// bitwise identical to referenceMSVFilter. A real threshold arms the
+// pruning cascade: a diagonal whose running score falls so low that gaining
+// maxMatch on every remaining row still cannot reach the threshold is
+// parked at msvDead and skipped for the rest of the scan. Pruning preserves
+// the filter verdict exactly — a pruned lane provably stays below the
+// threshold, so whenever the returned score passes the threshold it is the
+// same (score, diagonal) the unpruned scan reports.
+func msvFilter(p *Profile, target *seq.Sequence, ws *scanWorkspace, threshold float32, m metering.Meter) (MSVHit, uint64) {
+	if !p.transposed() {
+		return referenceMSVFilter(p, target, m), 0
+	}
 	L := target.Len()
+	M := p.M
 	best := MSVHit{Score: 0, Diagonal: 0}
 	// Diagonals are indexed by offset d = col - row, d in [-(L-1), M-1].
-	// For cache friendliness we scan row-major with one running score per
-	// diagonal, which is how striped SIMD implementations behave.
-	diags := L + p.M - 1
-	run := make([]float32, diags)
+	// Scanning row-major keeps one running score per diagonal, and because
+	// d grows with the column, each row's run slots are one contiguous
+	// window of the buffer — the same shape striped SIMD implementations
+	// exploit.
+	diags := L + M - 1
+	if diags < 0 {
+		return best, 0
+	}
+	run := ws.msvRun(diags)
+	var pruned uint64
 	for i := 0; i < L; i++ {
 		r := int(target.Residues[i])
-		rowScores := p.Match // indexed [col*K + r]
-		for j := 0; j < p.M; j++ {
-			d := j - i + (L - 1)
-			s := run[d] + rowScores[j*p.K+r]
+		row := p.MatchT[r*M : r*M+M]
+		runRow := run[L-1-i : L-1-i+M]
+		runRow = runRow[:len(row)] // equal lengths; lets BCE drop runRow[j] checks
+		// Death floor for this row: rem = L-1-i overestimates the cells
+		// left on any diagonal, so the bound is conservative.
+		rem := L - 1 - i
+		floor := threshold - float32(rem)*p.maxMatch - pruneMargin(rem)
+		if floor <= 0 {
+			// Kadane clamps running scores at >= 0, so a non-positive floor
+			// can never kill a lane — and floors only rise as rem shrinks,
+			// so no lane is dead yet either. Run the tight two-branch loop
+			// (bitwise identical to the reference recurrence).
+			bs, bj := best.Score, -1
+			for j, sc := range row {
+				s := runRow[j] + sc
+				// Branchless clamp at zero: the sign of a negative float's
+				// bits, smeared across the word, masks it to +0.0. The
+				// sign test on random scores is a coinflip branch predictors
+				// can't learn, so this trades a frequent mispredict for
+				// three ALU ops. Yields the identical float (+0.0) the
+				// branching clamp produces.
+				b := math.Float32bits(s)
+				s = math.Float32frombits(b &^ uint32(int32(b)>>31))
+				runRow[j] = s
+				if s > bs {
+					bs = s
+					bj = j
+				}
+			}
+			if bj >= 0 {
+				best.Score = bs
+				best.Diagonal = bj - i
+			}
+			continue
+		}
+		// Pruning rows (the tail of the scan): visit dead lanes with one
+		// sentinel compare, park newly hopeless lanes at msvDead.
+		for j, sc := range row {
+			rv := runRow[j]
+			if rv == msvDead {
+				pruned++
+				continue
+			}
+			s := rv + sc
 			if s < 0 {
 				s = 0
 			}
-			run[d] = s
 			if s > best.Score {
 				best.Score = s
 				best.Diagonal = j - i
 			}
+			if s < floor {
+				runRow[j] = msvDead
+			} else {
+				runRow[j] = s
+			}
 		}
 	}
-	cells := uint64(L) * uint64(p.M)
+	cells := uint64(L) * uint64(M)
+	exec := cells - pruned
 	m.Record(metering.Event{
-		Func:         "msv_filter",
-		Instructions: cells * 4,
-		Bytes:        cells * 8, // score read + running-diagonal read/write
+		Func: "msv_filter",
+		// Executed cells run the full Kadane step; dead-lane visits cost
+		// one sentinel compare and one 4-byte read.
+		Instructions: exec*4 + pruned,
+		Bytes:        exec*8 + pruned*4,
 		WorkingSet:   uint64(diags)*4 + p.MemoryBytes(),
 		Pattern:      metering.Sequential,
 		Branches:     cells,
 		// Max/reset branches on random sequence are near-coinflips that
 		// predictors only partially learn.
 		BranchMissRate: 0.005,
+		Pruned:         pruned,
 	})
-	return best
+	return best, pruned
 }
 
 // MSVThreshold returns the filter pass threshold for a profile: hits whose

@@ -19,8 +19,16 @@ type Profile struct {
 	M    int // number of match columns
 	K    int // alphabet size
 
-	// Match holds emission scores indexed [col*K + residue].
+	// Match holds emission scores indexed [col*K + residue]. It is the
+	// authoritative table: serialization and profile construction write it.
 	Match []float32
+	// MatchT is the residue-major transpose of Match, indexed
+	// [residue*M + col]. The scan kernels iterate profile columns for one
+	// fixed target residue at a time, so this layout turns their inner-loop
+	// emission lookups from stride-K walks (one cache line per column) into
+	// contiguous reads. It is derived from Match by BuildTransposed; kernels
+	// fall back to the column-major reference path when it is absent.
+	MatchT []float32
 	// InsertPenalty is charged per inserted residue at any column.
 	InsertPenalty float32
 	// Open/Extend are affine gap transition penalties.
@@ -28,6 +36,40 @@ type Profile struct {
 
 	// Gumbel parameters for E-value computation, set by calibrate().
 	Lambda, Mu float64
+
+	// maxMatch is max(0, max emission score), set by BuildTransposed. It
+	// bounds the per-row score gain of any alignment path and anchors the
+	// filter cascade's provably-safe pruning ceilings.
+	maxMatch float32
+}
+
+// BuildTransposed (re)derives MatchT and the pruning bound from Match. The
+// standard constructors call it; callers that assemble a Profile by hand can
+// invoke it to opt in to the transposed kernels, or skip it to stay on the
+// column-major reference path.
+func (p *Profile) BuildTransposed() {
+	if len(p.Match) != p.M*p.K {
+		return
+	}
+	if cap(p.MatchT) < len(p.Match) {
+		p.MatchT = make([]float32, len(p.Match))
+	}
+	p.MatchT = p.MatchT[:len(p.Match)]
+	p.maxMatch = 0
+	for col := 0; col < p.M; col++ {
+		for r := 0; r < p.K; r++ {
+			s := p.Match[col*p.K+r]
+			p.MatchT[r*p.M+col] = s
+			if s > p.maxMatch {
+				p.maxMatch = s
+			}
+		}
+	}
+}
+
+// transposed reports whether the residue-major layout is available.
+func (p *Profile) transposed() bool {
+	return len(p.MatchT) == len(p.Match) && len(p.Match) == p.M*p.K
 }
 
 // BuildFromQuery constructs a profile directly from one query sequence using
@@ -54,6 +96,7 @@ func BuildFromQuery(q *seq.Sequence) (*Profile, error) {
 		copy(p.Match[i*mat.N:(i+1)*mat.N], mat.Scores[int(r)*mat.N:(int(r)+1)*mat.N])
 	}
 	p.calibrate()
+	p.BuildTransposed()
 	return p, nil
 }
 
@@ -113,6 +156,7 @@ func BuildFromAlignment(name string, t seq.MoleculeType, rows [][]byte) (*Profil
 		}
 	}
 	p.calibrate()
+	p.BuildTransposed()
 	return p, nil
 }
 
@@ -164,8 +208,11 @@ func (p *Profile) BitScore(score float64) float64 {
 	return p.Lambda * score / math.Ln2
 }
 
-// MemoryBytes returns the resident size of the profile's score tables —
-// part of the working set the cache model sees during DP.
+// MemoryBytes returns the resident size of the profile's score table as the
+// DP kernels see it — part of the working set the cache model is charged
+// with. Each kernel reads exactly one layout (MatchT when present, Match
+// otherwise), so the hot working set is one table regardless of how many
+// layouts the profile keeps resident.
 func (p *Profile) MemoryBytes() uint64 {
 	return uint64(len(p.Match)) * 4
 }

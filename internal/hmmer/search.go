@@ -3,6 +3,7 @@ package hmmer
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"afsysbench/internal/metering"
@@ -100,7 +101,12 @@ type Result struct {
 	Scanned    int   // records examined
 	Candidates int   // candidate diagonals DP'd
 	CellsDP    uint64
-	Rounds     int
+	// CellsPruned counts filter-lane visits and DP cells the pruning cascade
+	// provably skipped (MSV dead diagonals, cut-off band rows). CellsDP +
+	// CellsPruned is not the unpruned volume — MSV lanes are not DP cells —
+	// but the split shows how much scan work the cascade avoided.
+	CellsPruned uint64
+	Rounds      int
 	// Windows counts long-target windows scanned (nucleotide searches).
 	Windows int
 	// PeakWindowStateBytes is the largest per-target accumulated window
@@ -163,12 +169,21 @@ func (idx *seedIndex) roll(h uint32, out, in byte, top uint32) uint32 {
 
 // candidates returns the merged candidate diagonals for a target, recording
 // the seed-scan work. Diagonals closer than mergeDist collapse into one.
-func (idx *seedIndex) candidates(target *seq.Sequence, minSeeds, maxDiag, mergeDist int, m metering.Meter) []int {
+// With a workspace, the vote map and diagonal slice are recycled scratch and
+// the returned slice is only valid until the workspace's next use; ws may be
+// nil for standalone calls.
+func (idx *seedIndex) candidates(target *seq.Sequence, minSeeds, maxDiag, mergeDist int, ws *scanWorkspace, m metering.Meter) []int {
 	L := target.Len()
 	if L < idx.k {
 		return nil
 	}
-	votes := make(map[int]int)
+	var votes map[int]int
+	var scratch []int
+	if ws != nil {
+		votes, scratch = ws.seedScratch()
+	} else {
+		votes = make(map[int]int)
+	}
 	var probes uint64
 	h := idx.hash(target.Residues[:idx.k])
 	top := idx.topWeight()
@@ -194,7 +209,10 @@ func (idx *seedIndex) candidates(target *seq.Sequence, minSeeds, maxDiag, mergeD
 		// Hash probe hit/miss is data-dependent and poorly predicted.
 		BranchMissRate: 0.010,
 	})
-	diags := make([]int, 0, len(votes))
+	diags := scratch
+	if diags == nil {
+		diags = make([]int, 0, len(votes))
+	}
 	for d, v := range votes {
 		if v >= minSeeds {
 			diags = append(diags, d)
@@ -217,6 +235,9 @@ func (idx *seedIndex) candidates(target *seq.Sequence, minSeeds, maxDiag, mergeD
 	}
 	if len(merged) > maxDiag {
 		merged = merged[:maxDiag]
+	}
+	if ws != nil {
+		ws.diags = diags // keep the (possibly grown) backing array
 	}
 	return merged
 }
@@ -341,6 +362,7 @@ func MergeResults(query string, parts []*Result) *Result {
 		merged.Scanned += p.Scanned
 		merged.Candidates += p.Candidates
 		merged.CellsDP += p.CellsDP
+		merged.CellsPruned += p.CellsPruned
 		merged.Windows += p.Windows
 		if p.PeakWindowStateBytes > merged.PeakWindowStateBytes {
 			merged.PeakWindowStateBytes = p.PeakWindowStateBytes
@@ -352,16 +374,173 @@ func MergeResults(query string, parts []*Result) *Result {
 		}
 		return merged.Hits[i].TargetID < merged.Hits[j].TargetID
 	})
-	seen := make(map[string]bool, len(merged.Hits))
-	uniq := merged.Hits[:0]
-	for _, h := range merged.Hits {
-		if !seen[h.TargetID] {
-			seen[h.TargetID] = true
-			uniq = append(uniq, h)
+	// A 0- or 1-element hit list is already deduplicated; most shards of a
+	// selective search land here, so skip the map allocation for them.
+	if len(merged.Hits) > 1 {
+		seen := make(map[string]bool, len(merged.Hits))
+		uniq := merged.Hits[:0]
+		for _, h := range merged.Hits {
+			if !seen[h.TargetID] {
+				seen[h.TargetID] = true
+				uniq = append(uniq, h)
+			}
 		}
+		merged.Hits = uniq
 	}
-	merged.Hits = uniq
 	return merged
+}
+
+// scanState carries everything one scan pass shares across records: the
+// profile, the seed index, the pooled workspace, precomputed filter
+// thresholds, and the accumulating Result. One scanState serves one worker
+// shard; it is not safe for concurrent use (each msa worker builds its own,
+// drawing a workspace from the shared pool).
+type scanState struct {
+	p          *Profile
+	query      *seq.Sequence
+	idx        *seedIndex
+	opts       SearchOptions
+	dbResidues int
+	m          metering.Meter
+	ws         *scanWorkspace
+	res        *Result
+	// bandFloor is the Viterbi score below which the E-value gate provably
+	// skips Forward (negInf disarms the band cutoff; see bandScoreFloor).
+	bandFloor    float32
+	msvThreshold float32
+	// recycling marks that record pointers from the buffer are only valid
+	// until the next record; retain() then clones before a Hit keeps one.
+	recycling bool
+	retained  *seq.Sequence
+}
+
+func newScanState(p *Profile, query *seq.Sequence, dbResidues int, opts SearchOptions, m metering.Meter) *scanState {
+	return &scanState{
+		p:            p,
+		query:        query,
+		idx:          buildSeedIndex(query, opts.SeedK),
+		opts:         opts,
+		dbResidues:   dbResidues,
+		m:            m,
+		ws:           takeScanWorkspace(),
+		res:          &Result{Query: query.ID},
+		bandFloor:    bandScoreFloor(p, dbResidues, opts.MaxEValue*10),
+		msvThreshold: MSVThreshold(p),
+	}
+}
+
+func (s *scanState) release() {
+	releaseScanWorkspace(s.ws)
+	s.ws = nil
+}
+
+// retain returns a form of target that stays valid after the buffer recycles
+// the record: the record itself when the buffer hands out stable copies, or
+// one lazily made clone per record otherwise (all hits of a record share it).
+func (s *scanState) retain(target *seq.Sequence) *seq.Sequence {
+	if !s.recycling {
+		return target
+	}
+	if s.retained == nil {
+		s.retained = cloneSeq(target)
+	}
+	return s.retained
+}
+
+func cloneSeq(t *seq.Sequence) *seq.Sequence {
+	out := &seq.Sequence{ID: t.ID, Type: t.Type}
+	if len(t.Residues) > 0 {
+		out.Residues = append([]byte(nil), t.Residues...)
+	}
+	return out
+}
+
+// bandScoreFloor inverts the post-Viterbi E-value gate (skip Forward when
+// EValue(score) > evGate) into a raw-score floor the banded kernel can prune
+// against. Any alignment scoring below the returned floor is discarded by
+// the gate regardless of its exact value, so the DP may stop early once it
+// proves it will land there. The floor sits a full point below the gate's
+// exact crossover, so scores anywhere near the boundary always run to
+// completion and the gate fires identically with and without pruning.
+// Returns negInf (cutoff disarmed) when the floor could never fire.
+func bandScoreFloor(p *Profile, dbResidues int, evGate float64) float32 {
+	if p.Lambda <= 0 || evGate <= 0 {
+		return negInf
+	}
+	starts := float64(dbResidues) / float64(p.M+1)
+	if starts < 1 {
+		starts = 1
+	}
+	// EValue(s) = starts * exp(-Lambda*(s-Mu)) <= evGate  <=>  s >= sStar.
+	sStar := p.Mu + math.Log(starts/evGate)/p.Lambda
+	floor := float32(sStar) - 1
+	if floor <= 0 {
+		// Local-alignment scores are clamped at >= 0, so a non-positive
+		// floor can never trigger; skip the per-row checks entirely.
+		return negInf
+	}
+	return floor
+}
+
+// scanRecord pushes one database record through the filter cascade:
+// seed (or MSV) filter, banded Viterbi with the E-value-derived floor,
+// Forward on survivors, traceback on reported hits.
+func (s *scanState) scanRecord(target *seq.Sequence) {
+	s.retained = nil
+	res := s.res
+	// Long nucleotide targets go through the windowed nhmmer path.
+	if s.query.Type != seq.Protein && target.Len() > longTargetThreshold(s.query.Len()) {
+		wres := s.scanLongTarget(target)
+		res.Windows += wres.Windows
+		res.Candidates += wres.Candidates
+		res.CellsDP += wres.CellsDP
+		res.CellsPruned += wres.CellsPruned
+		res.Hits = append(res.Hits, wres.Hits...)
+		if wres.PeakStateBytes > res.PeakWindowStateBytes {
+			res.PeakWindowStateBytes = wres.PeakStateBytes
+		}
+		return
+	}
+	var diags []int
+	if s.opts.DisableSeedFilter {
+		hit, pruned := msvFilter(s.p, target, s.ws, s.msvThreshold, s.m)
+		res.CellsPruned += pruned
+		if hit.Score >= s.msvThreshold {
+			s.ws.diags = append(s.ws.diags[:0], hit.Diagonal)
+			diags = s.ws.diags
+		}
+	} else {
+		diags = s.idx.candidates(target, s.opts.MinSeeds, s.opts.MaxDiagonals, 2*s.opts.HalfWidth, s.ws, s.m)
+	}
+	for _, d := range diags {
+		res.Candidates++
+		ali, pruned := bandedViterbi(s.p, target, d, s.opts.HalfWidth, s.ws, s.bandFloor, s.m)
+		res.CellsDP += ali.Cells
+		res.CellsPruned += pruned
+		ev := s.p.EValue(float64(ali.Score), s.dbResidues)
+		if ev > s.opts.MaxEValue*10 {
+			continue // not even close; skip Forward
+		}
+		fwd := forward(s.p, target, d, s.opts.HalfWidth, s.ws, s.m)
+		fev := s.p.EValue(fwd, s.dbResidues)
+		if fev > s.opts.MaxEValue {
+			continue
+		}
+		// Reported hits get a traced alignment for stacking and
+		// display (the extra DP is charged by the traceback kernel).
+		_, traced := BandedViterbiAlign(s.p, target, d, s.opts.HalfWidth, s.m)
+		kept := s.retain(target)
+		res.Hits = append(res.Hits, Hit{
+			TargetID:     kept.ID,
+			Target:       kept,
+			Diagonal:     d,
+			ViterbiScore: float64(ali.Score),
+			ForwardScore: fwd,
+			Bits:         s.p.BitScore(fwd),
+			EValue:       fev,
+			Alignment:    traced,
+		})
+	}
 }
 
 // scanDB is the shared inner loop: stream records through the buffering
@@ -370,9 +549,11 @@ func MergeResults(query string, parts []*Result) *Result {
 // frequent enough that cancellation lands mid-shard, not at shard end.
 func scanDB(ctx context.Context, p *Profile, query *seq.Sequence, src RecordSource, dbResidues int, opts SearchOptions, m metering.Meter) (*Result, error) {
 	const ctxCheckStride = 32
-	buf := NewBuffer(src, opts.DBFootprint, m)
-	idx := buildSeedIndex(query, opts.SeedK)
-	res := &Result{Query: query.ID}
+	buf := NewRecyclingBuffer(src, opts.DBFootprint, m)
+	s := newScanState(p, query, dbResidues, opts, m)
+	s.recycling = true
+	defer s.release()
+	res := s.res
 	for {
 		target, ok := buf.Next()
 		if !ok {
@@ -384,54 +565,7 @@ func scanDB(ctx context.Context, p *Profile, query *seq.Sequence, src RecordSour
 				return nil, err
 			}
 		}
-		// Long nucleotide targets go through the windowed nhmmer path.
-		if query.Type != seq.Protein && target.Len() > longTargetThreshold(query.Len()) {
-			wres := scanLongTarget(p, query, target, idx, dbResidues, opts, m)
-			res.Windows += wres.Windows
-			res.Candidates += wres.Candidates
-			res.CellsDP += wres.CellsDP
-			res.Hits = append(res.Hits, wres.Hits...)
-			if wres.PeakStateBytes > res.PeakWindowStateBytes {
-				res.PeakWindowStateBytes = wres.PeakStateBytes
-			}
-			continue
-		}
-		var diags []int
-		if opts.DisableSeedFilter {
-			hit := MSVFilter(p, target, m)
-			if hit.Score >= MSVThreshold(p) {
-				diags = []int{hit.Diagonal}
-			}
-		} else {
-			diags = idx.candidates(target, opts.MinSeeds, opts.MaxDiagonals, 2*opts.HalfWidth, m)
-		}
-		for _, d := range diags {
-			res.Candidates++
-			ali := BandedViterbi(p, target, d, opts.HalfWidth, m)
-			res.CellsDP += ali.Cells
-			ev := p.EValue(float64(ali.Score), dbResidues)
-			if ev > opts.MaxEValue*10 {
-				continue // not even close; skip Forward
-			}
-			fwd := Forward(p, target, d, opts.HalfWidth, m)
-			fev := p.EValue(fwd, dbResidues)
-			if fev > opts.MaxEValue {
-				continue
-			}
-			// Reported hits get a traced alignment for stacking and
-			// display (the extra DP is charged by the traceback kernel).
-			_, traced := BandedViterbiAlign(p, target, d, opts.HalfWidth, m)
-			res.Hits = append(res.Hits, Hit{
-				TargetID:     target.ID,
-				Target:       target,
-				Diagonal:     d,
-				ViterbiScore: float64(ali.Score),
-				ForwardScore: fwd,
-				Bits:         p.BitScore(fwd),
-				EValue:       fev,
-				Alignment:    traced,
-			})
-		}
+		s.scanRecord(target)
 	}
 	sort.Slice(res.Hits, func(i, j int) bool {
 		if res.Hits[i].EValue != res.Hits[j].EValue {
@@ -439,9 +573,11 @@ func scanDB(ctx context.Context, p *Profile, query *seq.Sequence, src RecordSour
 		}
 		return res.Hits[i].TargetID < res.Hits[j].TargetID
 	})
-	if !opts.ReportAllDomains {
-		// Deduplicate by target: keep the best band only.
-		seen := make(map[string]bool, len(res.Hits))
+	if !opts.ReportAllDomains && len(res.Hits) > 1 {
+		// Deduplicate by target: keep the best band only. 0- and 1-hit
+		// results (the overwhelmingly common case across worker shards)
+		// need no map at all; larger ones reuse the workspace's set.
+		seen := s.ws.dedupSeen()
 		uniq := res.Hits[:0]
 		for _, h := range res.Hits {
 			if !seen[h.TargetID] {

@@ -80,7 +80,7 @@ func TestSeedIndexFindsIdenticalDiagonal(t *testing.T) {
 	g := seq.NewGenerator(rng.New(3))
 	q := g.Random("q", seq.Protein, 100)
 	idx := buildSeedIndex(q, 3)
-	diags := idx.candidates(q, 2, 64, 18, metering.Nop{})
+	diags := idx.candidates(q, 2, 64, 18, nil, metering.Nop{})
 	found := false
 	for _, d := range diags {
 		if d >= -9 && d <= 9 {
@@ -139,7 +139,7 @@ func TestSeedIndexShortTarget(t *testing.T) {
 	g := seq.NewGenerator(rng.New(4))
 	q := g.Random("q", seq.Protein, 50)
 	idx := buildSeedIndex(q, 3)
-	if got := idx.candidates(g.Random("t", seq.Protein, 2), 2, 64, 18, metering.Nop{}); got != nil {
+	if got := idx.candidates(g.Random("t", seq.Protein, 2), 2, 64, 18, nil, metering.Nop{}); got != nil {
 		t.Errorf("short target candidates = %v, want nil", got)
 	}
 }
@@ -155,7 +155,7 @@ func TestPolyQInflatesCandidates(t *testing.T) {
 		idx := buildSeedIndex(q, 3)
 		total := 0
 		for _, s := range db.Seqs {
-			total += len(idx.candidates(s, 2, 64, 18, metering.Nop{}))
+			total += len(idx.candidates(s, 2, 64, 18, nil, metering.Nop{}))
 		}
 		return total
 	}

@@ -1,7 +1,6 @@
 package hmmer
 
 import (
-	"afsysbench/internal/metering"
 	"afsysbench/internal/seq"
 )
 
@@ -46,28 +45,30 @@ type WindowScanResult struct {
 	Hits           []Hit
 	Candidates     int
 	CellsDP        uint64
+	CellsPruned    uint64
 }
 
 // scanLongTarget runs the windowed nucleotide scan of a single target. Each
 // window goes through the usual seed → banded-Viterbi → Forward cascade;
-// hit coordinates are mapped back to the whole target.
-func scanLongTarget(p *Profile, query *seq.Sequence, target *seq.Sequence, idx *seedIndex, dbResidues int, opts SearchOptions, m metering.Meter) WindowScanResult {
-	plan := planWindows(query.Len(), target.Len())
+// hit coordinates are mapped back to the whole target. The window header is
+// the workspace's reusable Sequence — windows are views into the target's
+// residues, so no bytes are copied per window.
+func (s *scanState) scanLongTarget(target *seq.Sequence) WindowScanResult {
+	plan := planWindows(s.query.Len(), target.Len())
 	out := WindowScanResult{Windows: plan.targets}
-	bandBytes := int64(2*opts.HalfWidth+1) * 3 * 4 // one band row set
+	bandBytes := int64(2*s.opts.HalfWidth+1) * 3 * 4 // one band row set
 
+	window := &s.ws.window
+	window.ID = target.ID
+	window.Type = target.Type
 	for wi := 0; wi < plan.targets; wi++ {
 		start := wi * plan.stride
 		end := start + plan.winLen
 		if end > target.Len() {
 			end = target.Len()
 		}
-		window := &seq.Sequence{
-			ID:       target.ID,
-			Type:     target.Type,
-			Residues: target.Residues[start:end],
-		}
-		diags := idx.candidates(window, opts.MinSeeds, opts.MaxDiagonals, 2*opts.HalfWidth, m)
+		window.Residues = target.Residues[start:end]
+		diags := s.idx.candidates(window, s.opts.MinSeeds, s.opts.MaxDiagonals, 2*s.opts.HalfWidth, s.ws, s.m)
 		if len(diags) == 0 {
 			continue
 		}
@@ -77,18 +78,19 @@ func scanLongTarget(p *Profile, query *seq.Sequence, target *seq.Sequence, idx *
 
 		for _, d := range diags {
 			out.Candidates++
-			ali := BandedViterbi(p, window, d, opts.HalfWidth, m)
+			ali, pruned := bandedViterbi(s.p, window, d, s.opts.HalfWidth, s.ws, s.bandFloor, s.m)
 			out.CellsDP += ali.Cells
-			ev := p.EValue(float64(ali.Score), dbResidues)
-			if ev > opts.MaxEValue*10 {
+			out.CellsPruned += pruned
+			ev := s.p.EValue(float64(ali.Score), s.dbResidues)
+			if ev > s.opts.MaxEValue*10 {
 				continue
 			}
-			fwd := Forward(p, window, d, opts.HalfWidth, m)
-			fev := p.EValue(fwd, dbResidues)
-			if fev > opts.MaxEValue {
+			fwd := forward(s.p, window, d, s.opts.HalfWidth, s.ws, s.m)
+			fev := s.p.EValue(fwd, s.dbResidues)
+			if fev > s.opts.MaxEValue {
 				continue
 			}
-			_, traced := BandedViterbiAlign(p, window, d, opts.HalfWidth, m)
+			_, traced := BandedViterbiAlign(s.p, window, d, s.opts.HalfWidth, s.m)
 			// Map window-relative positions back to the whole target.
 			if traced != nil {
 				for pi := range traced.Pairs {
@@ -97,18 +99,20 @@ func scanLongTarget(p *Profile, query *seq.Sequence, target *seq.Sequence, idx *
 					}
 				}
 			}
+			kept := s.retain(target)
 			out.Hits = append(out.Hits, Hit{
-				TargetID:     target.ID,
-				Target:       target,
+				TargetID:     kept.ID,
+				Target:       kept,
 				Diagonal:     d + start, // whole-target diagonal
 				ViterbiScore: float64(ali.Score),
 				ForwardScore: fwd,
-				Bits:         p.BitScore(fwd),
+				Bits:         s.p.BitScore(fwd),
 				EValue:       fev,
 				Alignment:    traced,
 			})
 		}
 	}
+	window.Residues = nil // don't pin the target's bytes in the pool
 	return out
 }
 

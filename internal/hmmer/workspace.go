@@ -1,0 +1,81 @@
+package hmmer
+
+import (
+	"sync"
+
+	"afsysbench/internal/seq"
+)
+
+// scanWorkspace owns every piece of reusable scratch the per-record scan
+// cascade needs: the MSV diagonal run buffer, the two banded-Viterbi DP
+// rows, the Forward rows, the seed-vote map and candidate-diagonal slice,
+// the hit-dedup set, and the long-target window header. One workspace
+// serves one scan at a time; scanDB takes one from a sync.Pool per pass
+// (so each msa worker shard reuses the buffers of earlier shards instead
+// of reallocating them per database record), and every buffer grows
+// monotonically to the largest record seen.
+type scanWorkspace struct {
+	run        []float32 // MSV Kadane state, one slot per diagonal
+	rowA, rowB dpRows    // banded Viterbi row pair
+	fwdA, fwdB []float64 // Forward row pair
+	votes      map[int]int
+	diags      []int
+	seen       map[string]bool
+	window     seq.Sequence // reusable long-target window header
+}
+
+var scanWSPool = sync.Pool{New: func() any {
+	return &scanWorkspace{
+		votes: make(map[int]int),
+		seen:  make(map[string]bool),
+	}
+}}
+
+func takeScanWorkspace() *scanWorkspace { return scanWSPool.Get().(*scanWorkspace) }
+
+func releaseScanWorkspace(ws *scanWorkspace) { scanWSPool.Put(ws) }
+
+// msvRun returns the diagonal run buffer sized for n diagonals, zeroed.
+// Only the touched prefix is cleared: a fresh allocation arrives zeroed,
+// and a recycled buffer is re-zeroed over exactly the n slots the previous
+// target may have dirtied beyond wherever this target will write.
+func (ws *scanWorkspace) msvRun(n int) []float32 {
+	if cap(ws.run) < n {
+		ws.run = make([]float32, n)
+		return ws.run
+	}
+	run := ws.run[:n]
+	for i := range run {
+		run[i] = 0
+	}
+	return run
+}
+
+// bandRows returns the two DP row sets sized for band width w.
+func (ws *scanWorkspace) bandRows(w int) (prev, cur *dpRows) {
+	ws.rowA.ensure(w)
+	ws.rowB.ensure(w)
+	return &ws.rowA, &ws.rowB
+}
+
+// forwardRows returns the two Forward rows sized for band width w. The
+// kernel initializes them itself, so no clearing happens here.
+func (ws *scanWorkspace) forwardRows(w int) (prev, cur []float64) {
+	if cap(ws.fwdA) < w {
+		ws.fwdA = make([]float64, w)
+		ws.fwdB = make([]float64, w)
+	}
+	return ws.fwdA[:w], ws.fwdB[:w]
+}
+
+// seedScratch returns the cleared vote map and the empty candidate slice.
+func (ws *scanWorkspace) seedScratch() (map[int]int, []int) {
+	clear(ws.votes)
+	return ws.votes, ws.diags[:0]
+}
+
+// dedupSeen returns the cleared per-scan hit-dedup set.
+func (ws *scanWorkspace) dedupSeen() map[string]bool {
+	clear(ws.seen)
+	return ws.seen
+}

@@ -64,6 +64,13 @@ type Event struct {
 	// Allocated is bytes newly allocated during the event (drives page
 	// faults on first touch, Table V's _M_fill_insert behavior).
 	Allocated uint64
+	// Pruned counts work units (DP cells, filter lanes) that a provably-safe
+	// early exit skipped. Pruned work is charged at its actual residual cost
+	// inside Instructions/Bytes — a sentinel check, or nothing at all — not
+	// at full kernel cost; the count is recorded separately so per-function
+	// attribution can distinguish executed volume from skipped volume
+	// instead of silently under-reporting the kernel's logical extent.
+	Pruned uint64
 }
 
 // Meter receives events. Implementations must be safe for use from the
@@ -99,6 +106,7 @@ func (a *Accumulator) Totals() Event {
 		t.Branches += ev.Branches
 		t.PageTouches += ev.PageTouches
 		t.Allocated += ev.Allocated
+		t.Pruned += ev.Pruned
 		if ev.WorkingSet > t.WorkingSet {
 			t.WorkingSet = ev.WorkingSet
 		}
@@ -118,6 +126,7 @@ func (a *Accumulator) ByFunc() map[string]Event {
 		cur.Branches += ev.Branches
 		cur.PageTouches += ev.PageTouches
 		cur.Allocated += ev.Allocated
+		cur.Pruned += ev.Pruned
 		if ev.WorkingSet > cur.WorkingSet {
 			cur.WorkingSet = ev.WorkingSet
 		}
@@ -155,5 +164,6 @@ func (m *scaledMeter) Record(ev Event) {
 	ev.Branches = uint64(float64(ev.Branches) * m.factor)
 	ev.PageTouches = uint64(float64(ev.PageTouches) * m.factor)
 	ev.Allocated = uint64(float64(ev.Allocated) * m.factor)
+	ev.Pruned = uint64(float64(ev.Pruned) * m.factor)
 	m.next.Record(ev)
 }

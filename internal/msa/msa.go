@@ -56,6 +56,11 @@ type ChainResult struct {
 	Hits       int
 	Candidates int
 	Scanned    int
+	// CellsDP counts banded-Viterbi DP cells actually evaluated across all
+	// rounds and shards; CellsPruned counts filter lanes and band cells the
+	// kernels' pruning cascade provably skipped (see hmmer.Result).
+	CellsDP     uint64
+	CellsPruned uint64
 	// Rows is the recruited alignment depth (including the query row).
 	Rows int
 	// HitResidues is the summed length of recruited hits, which feeds the
@@ -179,6 +184,8 @@ func runChain(ctx context.Context, chain inputs.Chain, opts Options, res *Result
 			allHits = append(allHits, merged.Hits...)
 			cr.Candidates += merged.Candidates
 			cr.Scanned += merged.Scanned
+			cr.CellsDP += merged.CellsDP
+			cr.CellsPruned += merged.CellsPruned
 		}
 		lastHits = allHits
 		if round == rounds-1 {
@@ -223,6 +230,12 @@ func inclusionE(opts Options) float64 {
 // because the shard count is semantic here: shard w's events must land in
 // res.Workers[w] for per-thread attribution, even when Threads exceeds the
 // machine's core count.
+//
+// Scratch reuse: each shard's scan draws a scanWorkspace from the hmmer
+// package's sync.Pool for the duration of its pass, so the MSV run buffer,
+// DP rows, and seed scratch are allocated once per worker per database —
+// not once per record — and successive databases reuse the buffers the
+// previous pass grew.
 func scanParallel(ctx context.Context, profile *hmmer.Profile, query *seq.Sequence, db *seqdb.DB, opts Options, res *Result) (*hmmer.Result, error) {
 	t := opts.Threads
 	searchOpts := opts.Search

@@ -1,0 +1,52 @@
+package msa
+
+import (
+	"sync"
+	"testing"
+
+	"afsysbench/internal/inputs"
+)
+
+// TestConcurrentRunsShareWorkspacePool exercises the hmmer scan-workspace
+// sync.Pool from many directions at once: several Run calls in flight, each
+// fanning out worker shards that take and release pooled workspaces. Under
+// -race (the Makefile's race target includes this package) this catches any
+// scratch buffer escaping its owning shard; without -race it still pins
+// result stability across pool reuse.
+func TestConcurrentRunsShareWorkspacePool(t *testing.T) {
+	in, err := inputs.ByName("2PV7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := dbs(t)
+	baseline, err2 := Run(in, Options{Threads: 4, DBs: set})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+
+	const runs = 4
+	results := make([]*Result, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(in, Options{Threads: 4, DBs: set})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		for c, cr := range results[i].PerChain {
+			want := baseline.PerChain[c]
+			if cr.Hits != want.Hits || cr.Candidates != want.Candidates ||
+				cr.CellsDP != want.CellsDP || cr.CellsPruned != want.CellsPruned {
+				t.Errorf("run %d chain %s diverged from baseline: %+v vs %+v",
+					i, cr.ChainID, cr, want)
+			}
+		}
+	}
+}
