@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race faults bench bench-msa bench-msa-smoke serve-bench serve-smoke
+.PHONY: all build test check fmt vet race faults chaos bench bench-msa bench-msa-smoke serve-bench serve-smoke
 
 all: build
 
@@ -37,7 +37,17 @@ faults:
 	$(GO) test -race ./internal/resilience
 	$(GO) test -race -run 'Ctx|Cancel|Fault|Resilience|Transient|Permanent|StageBudget|MemSpike|Stall|Stream|ExitCode|GoldenRun' ./internal/parallel ./internal/simio ./internal/hmmer ./internal/msa ./internal/core ./cmd/afsysbench
 
-check: fmt vet test race faults bench-msa-smoke serve-smoke
+# Chaos storm under the race detector: a seeded 120-request fault storm
+# (worker panics at every guard point, once-per-chain faults forcing
+# checkpointed retries, a dark database tripping its breaker, aggressive
+# hedging) against a live scheduler, asserting the serving fault-model
+# invariants — every job terminal, pools at full strength, no goroutine
+# leak. The seed is in the output; a failure reproduces with the printed
+# flag line.
+chaos:
+	$(GO) run -race ./cmd/afload -chaos -seed 7 -n 120 -concurrency 8 -mix 2PV7:4,1YY9:1 -threads 2 -msa-workers 4 -gpu-workers 2
+
+check: fmt vet test race faults chaos bench-msa-smoke serve-smoke
 
 # Kernel microbenchmarks with allocation tracking (serial vs parallel).
 bench:

@@ -14,6 +14,11 @@
 //	    with the cache enabled and disabled, and writes the comparison —
 //	    the `make serve-bench` artifact.
 //
+//	afload -chaos -n 120 -mix 2PV7:4,1YY9:1
+//	    (no -addr) runs the seeded fault storm of chaos.go against a live
+//	    in-process scheduler and exits non-zero if any fault-tolerance
+//	    invariant breaks — the `make chaos` gate.
+//
 // The request trace is a pure function of -seed, -mix and -n, so runs are
 // reproducible end to end.
 package main
@@ -59,6 +64,7 @@ type options struct {
 	queue        int
 	cacheMB      int
 	compareCache bool
+	chaos        bool
 	jsonPath     string
 }
 
@@ -77,7 +83,8 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.queue, "queue", 64, "in-process admission queue depth")
 	fs.IntVar(&o.cacheMB, "cache-mb", 512, "in-process cache capacity in MiB; 0 disables")
 	fs.BoolVar(&o.compareCache, "compare-cache", false, "in-process only: rerun the trace cache-disabled and report the speedup")
-	fs.StringVar(&o.jsonPath, "json", "", "write the LoadReport JSON to this path")
+	fs.BoolVar(&o.chaos, "chaos", false, "in-process only: run the seeded fault storm and assert the fault-tolerance invariants instead of measuring throughput")
+	fs.StringVar(&o.jsonPath, "json", "", "write the report JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -86,6 +93,9 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.addr != "" && o.compareCache {
 		return o, fmt.Errorf("-compare-cache needs the in-process mode (drop -addr)")
+	}
+	if o.addr != "" && o.chaos {
+		return o, fmt.Errorf("-chaos needs the in-process mode (drop -addr)")
 	}
 	return o, nil
 }
@@ -330,6 +340,9 @@ func run(args []string, out *os.File) error {
 	o, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+	if o.chaos {
+		return runChaos(o, out)
 	}
 	samples, weights, err := parseMix(o.mix)
 	if err != nil {

@@ -11,13 +11,17 @@
 //	afserve -cache-mb 256                    # bound the MSA cache
 //	afserve -cache-mb 0                      # disable the cache
 //	afserve -deadline 30s -cold              # per-request deadline, cold model
+//	afserve -msa-attempts 3 -hedge           # checkpointed retries + hedging
+//	afserve -faults transient:uniref_s:1     # inject faults (robustness demos)
+//	afserve -breaker-threshold 3 -breaker-cooldown 5s
 //
 // Endpoints:
 //
 //	POST /v1/submit     {"sample":"1YY9","threads":4,"timeout_ms":30000}
 //	GET  /v1/jobs/{id}  job status (state, cache_hit, stage seconds)
 //	GET  /v1/metrics    counters + cache stats + latency percentiles
-//	GET  /v1/healthz
+//	GET  /v1/healthz    liveness: the process answers
+//	GET  /v1/readyz     readiness: 503 names open breakers / saturated queue
 //
 // A full admission queue answers 503 (deterministic load shedding); an
 // unknown sample answers 400.
@@ -33,6 +37,7 @@ import (
 	"afsysbench/internal/cache"
 	"afsysbench/internal/parallel"
 	"afsysbench/internal/platform"
+	"afsysbench/internal/resilience"
 	"afsysbench/internal/serve"
 	"afsysbench/internal/simgpu"
 )
@@ -55,6 +60,12 @@ type options struct {
 	cacheMB    int
 	deadline   time.Duration
 	cold       bool
+
+	faults           string
+	msaAttempts      int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	hedge            bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -69,6 +80,11 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.cacheMB, "cache-mb", 512, "MSA cache capacity in MiB; 0 disables caching")
 	fs.DurationVar(&o.deadline, "deadline", 0, "default per-request wall deadline (0 = none)")
 	fs.BoolVar(&o.cold, "cold", false, "cold model per request (pay GPU init + XLA compile each time)")
+	fs.StringVar(&o.faults, "faults", "", "fault spec injected into every request, e.g. transient:uniref_s:1,chainfault:B:1")
+	fs.IntVar(&o.msaAttempts, "msa-attempts", 1, "MSA stage attempts per request; >1 enables chain checkpoints, so a retry re-runs only failed chains")
+	fs.IntVar(&o.breakerThreshold, "breaker-threshold", 0, "consecutive failures that open a database's circuit breaker (0 = default 5)")
+	fs.DurationVar(&o.breakerCooldown, "breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default 10s)")
+	fs.BoolVar(&o.hedge, "hedge", false, "hedge straggling MSA chain searches with a concurrent backup attempt")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -86,15 +102,27 @@ func buildServer(o options) (*serve.Server, error) {
 	if o.cacheMB > 0 {
 		c = cache.New(int64(o.cacheMB) << 20)
 	}
+	var faults resilience.Faults
+	if o.faults != "" {
+		faults, err = resilience.ParseFaults(o.faults)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return serve.New(serve.Config{
-		Machine:        mach,
-		Threads:        o.threads,
-		MSAWorkers:     o.msaWorkers,
-		GPUWorkers:     o.gpuWorkers,
-		QueueDepth:     o.queue,
-		Cache:          c,
-		DefaultTimeout: o.deadline,
-		ColdModel:      o.cold,
+		Machine:          mach,
+		Threads:          o.threads,
+		MSAWorkers:       o.msaWorkers,
+		GPUWorkers:       o.gpuWorkers,
+		QueueDepth:       o.queue,
+		Cache:            c,
+		DefaultTimeout:   o.deadline,
+		ColdModel:        o.cold,
+		Faults:           faults,
+		MSAAttempts:      o.msaAttempts,
+		BreakerThreshold: o.breakerThreshold,
+		BreakerCooldown:  o.breakerCooldown,
+		Hedge:            serve.HedgeConfig{Enabled: o.hedge},
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"afsysbench/internal/inputs"
 	"afsysbench/internal/memest"
@@ -55,6 +56,27 @@ type PipelineOptions struct {
 	// cache-enabled one attributes every skipped search to its own
 	// hit counters.
 	FreshMSA bool
+	// Injector overrides the fault injector built from Faults. The serving
+	// layer passes one injector per job so that transient budgets persist
+	// across MSA stage retries — a fault consumed by attempt 1 stays
+	// consumed, which is what lets a checkpointed retry succeed.
+	Injector *resilience.Injector
+	// SkipDBs names databases to drop at open time without probing — the
+	// serving layer's circuit breakers feed it so a shard known to be dark
+	// is skipped instead of re-probed on every request. Each skip is
+	// recorded as a KindBreakerSkip degradation event.
+	SkipDBs map[string]bool
+	// MSACheckpoint preserves completed per-chain search deltas across
+	// retries of the MSA phase (scoped by database-profile signature); a
+	// retried phase re-runs only the chains that had not finished.
+	MSACheckpoint *msa.Checkpoint
+	// ChainDone observes every really-searched chain's wall time — the
+	// serving layer's hedge-budget estimator feeds on it.
+	ChainDone func(chainID string, wall time.Duration)
+	// HedgeAfter launches a backup attempt for an MSA chain still running
+	// after this wall-clock delay (0 disables). Latency-only: results are
+	// identical with or without hedging.
+	HedgeAfter time.Duration
 }
 
 // PipelineResult is the end-to-end outcome for one sample on one machine.
@@ -214,7 +236,10 @@ func (s *Suite) RunMSAPhase(ctx context.Context, in *inputs.Input, mach platform
 	}
 
 	pol := opts.Retry.WithDefaults()
-	inj := resilience.NewInjector(opts.Faults, s.resilienceSource(in.Name, opts.RunIndex))
+	inj := opts.Injector
+	if inj == nil {
+		inj = resilience.NewInjector(opts.Faults, s.resilienceSource(in.Name, opts.RunIndex))
+	}
 
 	storage := opts.Storage
 	if storage == nil {
@@ -230,7 +255,7 @@ func (s *Suite) RunMSAPhase(ctx context.Context, in *inputs.Input, mach platform
 	// Open the databases under the retry policy, then plan the stage down
 	// the degradation ladder until it fits.
 	needed := s.neededDBs(in)
-	active := s.openDatabases(needed, inj, pol, &mp.Resilience)
+	active := s.openDatabases(needed, opts.SkipDBs, inj, pol, &mp.Resilience)
 	if err := s.runMSAStage(ctx, in, mach, opts, storage, active, needed, inj, pol, mp); err != nil {
 		return nil, err
 	}
@@ -313,7 +338,15 @@ func (s *Suite) runMSAStage(ctx context.Context, in *inputs.Input, mach platform
 		if err := ctx.Err(); err != nil {
 			return resilience.ErrStageTimeout{Stage: "msa", Cause: err}
 		}
-		msaRes, err := s.msaResultFor(ctx, in, opts.Threads, s.reducedDBSet(active), s.dbSignature(active), opts.FreshMSA)
+		// Chain faults and checkpoints make the search attempt-dependent:
+		// the memo must not absorb (or replay around) either.
+		fresh := opts.FreshMSA || opts.MSACheckpoint != nil || inj.HasChainFaults()
+		msaRes, err := s.msaResultFor(ctx, in, opts.Threads, s.reducedDBSet(active), s.dbSignature(active), fresh, msaExtras{
+			checkpoint: opts.MSACheckpoint,
+			chainFault: inj.ChainFault,
+			chainDone:  opts.ChainDone,
+			hedgeAfter: opts.HedgeAfter,
+		})
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return resilience.ErrStageTimeout{Stage: "msa", Cause: ctxErr}
@@ -401,6 +434,14 @@ func (s *Suite) runMSAStage(ctx context.Context, in *inputs.Input, mach platform
 	}
 }
 
+// NeededDBs returns the names of the databases the input's chains search —
+// the serving layer consults it to feed per-database circuit breakers
+// (a request that finished without dropping a needed database counts as a
+// success for each one it searched).
+func (s *Suite) NeededDBs(in *inputs.Input) map[string]bool {
+	return s.neededDBs(in)
+}
+
 // neededDBs returns the names of the databases the input's chains search.
 func (s *Suite) neededDBs(in *inputs.Input) map[string]bool {
 	needed := make(map[string]bool)
@@ -415,15 +456,25 @@ func (s *Suite) neededDBs(in *inputs.Input) map[string]bool {
 // openDatabases probes every database the input needs under the retry
 // policy, consuming injected faults at open time so each database is either
 // fully available to the scan or dropped before it starts. Databases the
-// input never searches pass through unprobed.
-func (s *Suite) openDatabases(needed map[string]bool, inj *resilience.Injector, pol resilience.RetryPolicy, rep *resilience.Report) []*seqdb.DB {
-	if inj == nil {
+// input never searches pass through unprobed; databases in skip (the
+// serving layer's open circuit breakers) are dropped without probing.
+func (s *Suite) openDatabases(needed, skip map[string]bool, inj *resilience.Injector, pol resilience.RetryPolicy, rep *resilience.Report) []*seqdb.DB {
+	if inj == nil && len(skip) == 0 {
 		return s.allDBs()
 	}
 	var active []*seqdb.DB
 	for _, db := range s.allDBs() {
 		if !needed[db.Name] {
 			active = append(active, db)
+			continue
+		}
+		if skip[db.Name] {
+			rep.DroppedDBs = append(rep.DroppedDBs, db.Name)
+			rep.Degraded = true
+			rep.Record(resilience.Event{
+				Stage: "msa", Kind: resilience.KindBreakerSkip, DB: db.Name,
+				Detail: "circuit breaker open; database skipped without probing",
+			})
 			continue
 		}
 		var bo *rng.Source

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"afsysbench/internal/inputs"
 	"afsysbench/internal/memest"
@@ -62,7 +63,18 @@ func NewSuite() (*Suite, error) {
 // MSAResult runs (or returns the cached) MSA phase for a sample at a thread
 // count. The result is platform-independent: the machine models replay it.
 func (s *Suite) MSAResult(in *inputs.Input, threads int) (*msa.Result, error) {
-	return s.msaResultFor(context.Background(), in, threads, s.DBs, "full", false)
+	return s.msaResultFor(context.Background(), in, threads, s.DBs, "full", false, msaExtras{})
+}
+
+// msaExtras carries the resumability and hedging hooks from PipelineOptions
+// into the MSA search — checkpoint replay, chain-granular fault injection,
+// the chain-latency observer and the hedge budget. The zero value means a
+// plain search.
+type msaExtras struct {
+	checkpoint *msa.Checkpoint
+	chainFault func(chainID string, attempt int) error
+	chainDone  func(chainID string, wall time.Duration)
+	hedgeAfter time.Duration
 }
 
 // msaResultFor runs (or returns the cached) MSA phase against a specific
@@ -70,8 +82,11 @@ func (s *Suite) MSAResult(in *inputs.Input, threads int) (*msa.Result, error) {
 // ladder re-plans the stage against reduced sets, and a result computed
 // with a dropped database must never be served for the full profile (or
 // vice versa). fresh bypasses the memo entirely — no read, no write — for
-// callers that manage reuse themselves (PipelineOptions.FreshMSA).
-func (s *Suite) msaResultFor(ctx context.Context, in *inputs.Input, threads int, dbs *msa.DBSet, sig string, fresh bool) (*msa.Result, error) {
+// callers that manage reuse themselves (PipelineOptions.FreshMSA) and for
+// any run carrying attempt-dependent hooks (chain faults, checkpoints).
+// sig doubles as the checkpoint scope, so a delta recorded against one
+// profile never replays under another.
+func (s *Suite) msaResultFor(ctx context.Context, in *inputs.Input, threads int, dbs *msa.DBSet, sig string, fresh bool, ex msaExtras) (*msa.Result, error) {
 	key := fmt.Sprintf("%s/%d/%s", in.Name, threads, sig)
 	if !fresh {
 		s.mu.Lock()
@@ -81,7 +96,16 @@ func (s *Suite) msaResultFor(ctx context.Context, in *inputs.Input, threads int,
 			return cached, nil
 		}
 	}
-	res, err := msa.RunCtx(ctx, in, msa.Options{Threads: threads, DBs: dbs, AllowMissingDB: true})
+	res, err := msa.RunCtx(ctx, in, msa.Options{
+		Threads:         threads,
+		DBs:             dbs,
+		AllowMissingDB:  true,
+		Checkpoint:      ex.checkpoint,
+		CheckpointScope: sig,
+		ChainFault:      ex.chainFault,
+		ChainDone:       ex.chainDone,
+		HedgeAfter:      ex.hedgeAfter,
+	})
 	if err != nil {
 		return nil, err
 	}

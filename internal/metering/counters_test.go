@@ -30,9 +30,35 @@ func TestRegistryBasics(t *testing.T) {
 
 func TestRegistryNilSafe(t *testing.T) {
 	var r *Registry
-	r.Add("x", 1) // must not panic
+	r.Add("x", 1)         // must not panic
+	r.SetGauge("live", 3) // must not panic
 	if r.Get("x") != 0 || len(r.Snapshot()) != 0 || len(r.Names()) != 0 {
 		t.Fatal("nil registry must read as empty")
+	}
+	if r.Gauge("live") != 0 || len(r.Gauges()) != 0 {
+		t.Fatal("nil registry gauges must read as empty")
+	}
+}
+
+func TestRegistryGauges(t *testing.T) {
+	r := NewRegistry()
+	r.SetGauge("live", 4)
+	r.SetGauge("live", 2) // gauges move both directions
+	if got := r.Gauge("live"); got != 2 {
+		t.Fatalf("live = %d, want 2", got)
+	}
+	if got := r.Gauge("absent"); got != 0 {
+		t.Fatalf("absent = %d, want 0", got)
+	}
+	snap := r.Gauges()
+	r.SetGauge("live", 9)
+	if snap["live"] != 2 {
+		t.Fatal("gauge snapshot not isolated from later writes")
+	}
+	// Gauges and counters are separate namespaces.
+	r.Add("live", 1)
+	if r.Get("live") != 1 || r.Gauge("live") != 9 {
+		t.Fatal("gauge and counter namespaces collided")
 	}
 }
 

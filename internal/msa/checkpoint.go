@@ -1,0 +1,148 @@
+package msa
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"afsysbench/internal/hmmer"
+	"afsysbench/internal/inputs"
+	"afsysbench/internal/metering"
+)
+
+// chainDelta is the complete contribution of one chain's searches to a
+// Result: the summary row, the final-round hit list (pairing input), the
+// per-worker metering events, the streamed byte totals and the serial
+// work. Chains compute their delta privately — against a scratch carrier,
+// never the shared Result — which is what makes three things possible
+// without disturbing determinism: a checkpoint can replay a completed
+// chain verbatim on a stage retry, a hedged backup attempt can race its
+// primary without the two writing the same accumulators, and the merge
+// into the Result happens in chain order exactly as the serial code did.
+type chainDelta struct {
+	cr       ChainResult
+	hits     []hmmer.Hit
+	workers  []*metering.Accumulator
+	streamed map[string]int64
+	serial   uint64
+}
+
+// merge replays a delta into the result. Worker events append in chain
+// order, so a Result assembled from deltas is byte-identical to one the
+// pre-delta serial code built.
+func (res *Result) merge(d *chainDelta) {
+	res.PerChain = append(res.PerChain, d.cr)
+	res.TotalHitResidues += d.cr.HitResidues
+	for w, acc := range d.workers {
+		res.Workers[w].Events = append(res.Workers[w].Events, acc.Events...)
+	}
+	for name, b := range d.streamed {
+		res.Streamed[name] += b
+	}
+	res.SerialInstructions += d.serial
+}
+
+// Checkpoint preserves completed per-chain search deltas across retries
+// of an MSA phase, so a retried stage re-runs only the chains that had
+// not finished when the previous attempt faulted — the rest replay
+// verbatim, streamed bytes, metering events and all. Entries are scoped
+// by the database profile signature: a degradation-ladder re-plan against
+// a reduced set must never reuse a delta computed against the full one.
+// Safe for concurrent use; a nil *Checkpoint stores nothing (the
+// package's unconditional-call-site convention).
+type Checkpoint struct {
+	mu     sync.Mutex
+	chains map[string]*chainDelta
+}
+
+// NewCheckpoint returns an empty checkpoint.
+func NewCheckpoint() *Checkpoint {
+	return &Checkpoint{chains: make(map[string]*chainDelta)}
+}
+
+func (c *Checkpoint) lookup(scope, chainID string) *chainDelta {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.chains[scope+"|"+chainID]
+}
+
+func (c *Checkpoint) store(scope, chainID string, d *chainDelta) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.chains[scope+"|"+chainID] = d
+	c.mu.Unlock()
+}
+
+// Len returns the number of checkpointed chain deltas across all scopes.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.chains)
+}
+
+// runChainHedged executes one chain, optionally racing a backup attempt
+// against a straggling primary. With HedgeAfter unset this is a plain
+// call. Otherwise: the primary launches immediately; if it has not
+// finished within HedgeAfter, a backup attempt starts and the first
+// finisher wins, the loser's context is cancelled and its goroutine
+// drained before returning (no leaks). Both attempts compute the same
+// deterministic delta, so hedging changes wall latency and operational
+// counters only — never results. A primary that *fails* before the hedge
+// timer fires returns immediately: hedging is for stragglers; failures
+// belong to the stage-retry path.
+func runChainHedged(ctx context.Context, chain inputs.Chain, opts Options) (d *chainDelta, hedged, backupWon bool, err error) {
+	if opts.HedgeAfter <= 0 {
+		d, err = runChain(ctx, chain, opts, 1)
+		return d, false, false, err
+	}
+	type outcome struct {
+		d       *chainDelta
+		err     error
+		attempt int
+	}
+	pctx, cancelPrimary := context.WithCancel(ctx)
+	defer cancelPrimary()
+	done := make(chan outcome, 2)
+	go func() {
+		d, err := runChain(pctx, chain, opts, 1)
+		done <- outcome{d, err, 1}
+	}()
+	timer := time.NewTimer(opts.HedgeAfter)
+	select {
+	case first := <-done:
+		timer.Stop()
+		return first.d, false, false, first.err
+	case <-timer.C:
+	}
+	bctx, cancelBackup := context.WithCancel(ctx)
+	defer cancelBackup()
+	go func() {
+		d, err := runChain(bctx, chain, opts, 2)
+		done <- outcome{d, err, 2}
+	}()
+
+	first := <-done
+	if first.err == nil {
+		// Winner: cancel the loser and drain it so no goroutine outlives
+		// the call.
+		cancelPrimary()
+		cancelBackup()
+		<-done
+		return first.d, true, first.attempt == 2, nil
+	}
+	// The first finisher failed (injected fault, cancellation): give the
+	// other attempt its chance before reporting failure.
+	second := <-done
+	if second.err == nil {
+		return second.d, true, second.attempt == 2, nil
+	}
+	return nil, true, false, first.err
+}

@@ -3,6 +3,7 @@ package msa
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"afsysbench/internal/hmmer"
 	"afsysbench/internal/inputs"
@@ -34,6 +35,33 @@ type Options struct {
 	// instead of failing the run — the degradation ladder's contract when
 	// databases have been dropped from the profile.
 	AllowMissingDB bool
+	// Checkpoint, when non-nil, makes the run resumable: chains completed
+	// by a previous attempt are replayed from their recorded deltas
+	// instead of re-searched, and every chain completed in this run is
+	// recorded as it finishes — even when a later chain fails. A stage
+	// retry therefore re-runs only failed chains.
+	Checkpoint *Checkpoint
+	// CheckpointScope names the database profile the run searches (the
+	// degradation ladder's signature). Checkpoint entries are keyed by it
+	// so a re-plan against a reduced profile never replays a delta
+	// computed against a different one.
+	CheckpointScope string
+	// ChainFault, when set, is consulted at the start of every chain
+	// search attempt with the chain id and the 1-based attempt ordinal
+	// (a hedge backup is a further attempt); a non-nil error fails that
+	// chain. It is the chain-granular fault-injection hook for the
+	// serving layer's chaos and robustness tests.
+	ChainFault func(chainID string, attempt int) error
+	// ChainDone, when set, observes every chain completed by a real
+	// search (not a checkpoint replay) with its wall-clock duration — the
+	// serving layer's hedge-budget estimator feeds on it.
+	ChainDone func(chainID string, wall time.Duration)
+	// HedgeAfter launches a backup attempt for a chain still running
+	// after this wall-clock delay; the first finished attempt wins and
+	// the loser is cancelled. Zero disables hedging. Both attempts
+	// compute the same deterministic result, so hedging affects latency
+	// only, never output.
+	HedgeAfter time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +115,14 @@ type Result struct {
 	// Pairing is the cross-chain species-pairing outcome (empty for
 	// single-chain inputs).
 	Pairing *PairingResult
+	// RestoredChains counts chains replayed from the checkpoint instead
+	// of re-searched; Hedges counts backup attempts launched for
+	// straggling chains and HedgeBackupWins those where the backup
+	// finished first. Operational counters — wall-clock dependent where
+	// hedging is concerned — excluded from determinism comparisons.
+	RestoredChains  int
+	Hedges          int
+	HedgeBackupWins int
 }
 
 // Run executes the MSA phase for the input: for every protein/RNA chain,
@@ -122,13 +158,30 @@ func RunCtx(ctx context.Context, in *inputs.Input, opts Options) (*Result, error
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		cr, hits, err := runChain(ctx, chain, opts, res)
-		if err != nil {
-			return nil, fmt.Errorf("msa %s chain %s: %w", in.Name, chain.IDs[0], err)
+		cid := chain.IDs[0]
+		if d := opts.Checkpoint.lookup(opts.CheckpointScope, cid); d != nil {
+			res.RestoredChains++
+			res.merge(d)
+			perChainHits = append(perChainHits, d.hits)
+			continue
 		}
-		res.PerChain = append(res.PerChain, cr)
-		res.TotalHitResidues += cr.HitResidues
-		perChainHits = append(perChainHits, hits)
+		start := time.Now()
+		d, hedged, backupWon, err := runChainHedged(ctx, chain, opts)
+		if err != nil {
+			return nil, fmt.Errorf("msa %s chain %s: %w", in.Name, cid, err)
+		}
+		if hedged {
+			res.Hedges++
+			if backupWon {
+				res.HedgeBackupWins++
+			}
+		}
+		if opts.ChainDone != nil {
+			opts.ChainDone(cid, time.Since(start))
+		}
+		opts.Checkpoint.store(opts.CheckpointScope, cid, d)
+		res.merge(d)
+		perChainHits = append(perChainHits, d.hits)
 	}
 	// Cross-chain species pairing (serial, between search and features).
 	res.Pairing = pairChains(perChainHits)
@@ -145,20 +198,49 @@ func RunCtx(ctx context.Context, in *inputs.Input, opts Options) (*Result, error
 	return res, nil
 }
 
-// runChain searches all matching databases for one chain, returning its
-// summary and the final round's hit list (for cross-chain pairing).
-func runChain(ctx context.Context, chain inputs.Chain, opts Options, res *Result) (ChainResult, []hmmer.Hit, error) {
+// runChain searches all matching databases for one chain, computing its
+// full contribution — summary row, final-round hits, metering events,
+// streamed bytes, serial work — into a private delta. Nothing shared is
+// touched until the caller merges the delta, so concurrent attempts
+// (hedging) and replayed attempts (checkpoints) are safe by construction.
+// attempt is the 1-based attempt ordinal handed to the ChainFault hook.
+func runChain(ctx context.Context, chain inputs.Chain, opts Options, attempt int) (*chainDelta, error) {
 	query := chain.Sequence
-	cr := ChainResult{ChainID: chain.IDs[0], Type: query.Type}
+	cid := chain.IDs[0]
+	if opts.ChainFault != nil {
+		if err := opts.ChainFault(cid, attempt); err != nil {
+			return nil, err
+		}
+	}
+	// Private scratch carrier: scanParallel and the serial-work bookkeeping
+	// below write here, never into the caller's Result.
+	scratch := &Result{
+		Workers:  make([]*metering.Accumulator, opts.Threads),
+		Streamed: make(map[string]int64),
+	}
+	for i := range scratch.Workers {
+		scratch.Workers[i] = &metering.Accumulator{}
+	}
+	res := scratch
+	cr := ChainResult{ChainID: cid, Type: query.Type}
+	finish := func(hits []hmmer.Hit) *chainDelta {
+		return &chainDelta{
+			cr:       cr,
+			hits:     hits,
+			workers:  scratch.Workers,
+			streamed: scratch.Streamed,
+			serial:   scratch.SerialInstructions,
+		}
+	}
 	dbs := opts.DBs.For(query.Type)
 	if len(dbs) == 0 {
 		if opts.AllowMissingDB {
 			// Degraded profile: the chain proceeds with only its own
 			// sequence (alignment depth 1, nothing scanned or streamed).
 			cr.Rows = 1
-			return cr, nil, nil
+			return finish(nil), nil
 		}
-		return cr, nil, fmt.Errorf("no databases for molecule type %v", query.Type)
+		return nil, fmt.Errorf("no databases for molecule type %v", query.Type)
 	}
 	rounds := opts.Rounds
 	if query.Type != seq.Protein {
@@ -167,18 +249,18 @@ func runChain(ctx context.Context, chain inputs.Chain, opts Options, res *Result
 
 	profile, err := hmmer.BuildFromQuery(query)
 	if err != nil {
-		return cr, nil, err
+		return nil, err
 	}
 	var lastHits []hmmer.Hit
 	for round := 0; round < rounds; round++ {
 		var allHits []hmmer.Hit
 		for _, db := range dbs {
 			if err := ctx.Err(); err != nil {
-				return cr, nil, err
+				return nil, err
 			}
 			merged, err := scanParallel(ctx, profile, query, db, opts, res)
 			if err != nil {
-				return cr, nil, err
+				return nil, err
 			}
 			res.Streamed[db.Name] += db.ModeledBytes()
 			allHits = append(allHits, merged.Hits...)
@@ -200,7 +282,7 @@ func runChain(ctx context.Context, chain inputs.Chain, opts Options, res *Result
 		}
 		profile, err = hmmer.BuildFromAlignment(query.ID, query.Type, rows)
 		if err != nil {
-			return cr, nil, err
+			return nil, err
 		}
 	}
 	cr.Hits = len(lastHits)
@@ -213,7 +295,7 @@ func runChain(ctx context.Context, chain inputs.Chain, opts Options, res *Result
 	}
 	// Merging and E-value sorting of the paper-scale hit list is serial.
 	res.SerialInstructions += uint64(cr.HitResidues) * 1200
-	return cr, lastHits, nil
+	return finish(lastHits), nil
 }
 
 func inclusionE(opts Options) float64 {

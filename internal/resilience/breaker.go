@@ -1,0 +1,231 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position. The machine is the
+// classic three-state breaker: Closed passes traffic and counts
+// consecutive failures; Open rejects everything until the cooldown
+// elapses; HalfOpen admits exactly one probe whose outcome decides
+// between closing again and re-opening.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is rejected until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe is in flight (or waiting to be taken);
+	// its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// BreakerConfig tunes one Breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips Closed → Open
+	// (default 5).
+	Threshold int
+	// Cooldown is how long an open breaker rejects before allowing a
+	// half-open probe (default 10s).
+	Cooldown time.Duration
+	// Now supplies the clock; nil means time.Now. Tests inject a
+	// deterministic clock so every transition is reproducible.
+	Now func() time.Time
+	// OnTransition, when set, observes every state change (metering,
+	// logging). Called outside the breaker's lock.
+	OnTransition func(from, to BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a concurrency-safe circuit breaker. The serving layer keeps
+// one per database so a shard that keeps failing is skipped after
+// Threshold consecutive failures — the request proceeds down the
+// degradation ladder immediately instead of burning its deadline on
+// retries that cannot succeed — and is probed again after Cooldown.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while Closed
+	openedAt  time.Time // when the breaker last tripped
+	probeOut  bool      // HalfOpen: the single probe token is taken
+	trips     int       // lifetime Closed/HalfOpen → Open transitions
+	rejected  int       // lifetime Allow() == false decisions
+	lastError string    // rendered cause of the last failure
+}
+
+// NewBreaker builds a breaker in the Closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a call may proceed. Open breakers reject until
+// the cooldown elapses, then move to HalfOpen and hand out a single probe
+// token; HalfOpen rejects everything while the probe is out. A caller
+// that receives true MUST report the outcome with Success or Failure (or
+// return the token with ProbeAbort if the call never reached the guarded
+// resource), or a half-open breaker would wedge.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	var transition func()
+	allowed := false
+	switch b.state {
+	case BreakerClosed:
+		allowed = true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			transition = b.setStateLocked(BreakerHalfOpen)
+			b.probeOut = true
+			allowed = true
+		}
+	case BreakerHalfOpen:
+		if !b.probeOut {
+			b.probeOut = true
+			allowed = true
+		}
+	}
+	if !allowed {
+		b.rejected++
+	}
+	b.mu.Unlock()
+	if transition != nil {
+		transition()
+	}
+	return allowed
+}
+
+// Success reports a successful call: it resets the failure streak and
+// closes a half-open breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	var transition func()
+	b.failures = 0
+	if b.state == BreakerHalfOpen {
+		b.probeOut = false
+		transition = b.setStateLocked(BreakerClosed)
+	}
+	b.mu.Unlock()
+	if transition != nil {
+		transition()
+	}
+}
+
+// Failure reports a failed call. Closed breakers trip once the
+// consecutive-failure streak reaches the threshold; a failed half-open
+// probe re-opens immediately and restarts the cooldown.
+func (b *Breaker) Failure(cause error) {
+	b.mu.Lock()
+	var transition func()
+	if cause != nil {
+		b.lastError = cause.Error()
+	}
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			transition = b.tripLocked()
+		}
+	case BreakerHalfOpen:
+		b.probeOut = false
+		transition = b.tripLocked()
+	case BreakerOpen:
+		// A stale outcome from before the trip; nothing to do.
+	}
+	b.mu.Unlock()
+	if transition != nil {
+		transition()
+	}
+}
+
+// ProbeAbort returns an unused half-open probe token: the caller was
+// allowed through but the guarded call never ran (the request failed for
+// an unrelated reason), so the probe produced no evidence either way. The
+// breaker stays HalfOpen and the next Allow hands the token out again.
+func (b *Breaker) ProbeAbort() {
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.probeOut = false
+	}
+	b.mu.Unlock()
+}
+
+// tripLocked moves to Open and stamps the cooldown clock.
+func (b *Breaker) tripLocked() func() {
+	b.failures = 0
+	b.openedAt = b.cfg.Now()
+	b.trips++
+	return b.setStateLocked(BreakerOpen)
+}
+
+// setStateLocked changes state and returns the deferred transition
+// callback (run outside the lock).
+func (b *Breaker) setStateLocked(to BreakerState) func() {
+	from := b.state
+	b.state = to
+	if b.cfg.OnTransition == nil || from == to {
+		return nil
+	}
+	cb := b.cfg.OnTransition
+	return func() { cb(from, to) }
+}
+
+// State returns the current state. An Open breaker whose cooldown has
+// elapsed still reports Open until the next Allow takes the probe.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSnapshot is a point-in-time view of one breaker for health
+// endpoints and chaos reports.
+type BreakerSnapshot struct {
+	State     string `json:"state"`
+	Failures  int    `json:"consecutive_failures,omitempty"`
+	Trips     int    `json:"trips,omitempty"`
+	Rejected  int    `json:"rejected,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Snapshot returns the breaker's current counters.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:     b.state.String(),
+		Failures:  b.failures,
+		Trips:     b.trips,
+		Rejected:  b.rejected,
+		LastError: b.lastError,
+	}
+}

@@ -1,0 +1,196 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"afsysbench/internal/rng"
+)
+
+// fakeClock is a hand-advanced clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock, *[]string) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		Threshold: threshold,
+		Cooldown:  cooldown,
+		Now:       clk.now,
+		OnTransition: func(from, to BreakerState) {
+			transitions = append(transitions, from.String()+">"+to.String())
+		},
+	})
+	return b, clk, &transitions
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _, transitions := newTestBreaker(3, 10*time.Second)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+	fault := errors.New("shard dark")
+	b.Failure(fault)
+	b.Failure(fault)
+	if b.State() != BreakerClosed {
+		t.Fatalf("tripped below threshold: %v", b.State())
+	}
+	// A success resets the streak.
+	b.Success()
+	b.Failure(fault)
+	b.Failure(fault)
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the failure streak")
+	}
+	b.Failure(fault)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed traffic inside the cooldown")
+	}
+	if len(*transitions) != 1 || (*transitions)[0] != "closed>open" {
+		t.Fatalf("transitions = %v", *transitions)
+	}
+	snap := b.Snapshot()
+	if snap.State != "open" || snap.Trips != 1 || snap.Rejected != 1 || snap.LastError == "" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk, transitions := newTestBreaker(2, 10*time.Second)
+	fault := errors.New("shard dark")
+	b.Failure(fault)
+	b.Failure(fault)
+
+	clk.advance(9 * time.Second)
+	if b.Allow() {
+		t.Fatal("allowed before the cooldown elapsed")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no probe handed out")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Only one probe token: concurrent callers are rejected meanwhile.
+	if b.Allow() {
+		t.Fatal("second probe handed out while one is in flight")
+	}
+
+	// Failed probe re-opens and restarts the cooldown.
+	b.Failure(fault)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed traffic immediately")
+	}
+
+	// Successful probe closes.
+	clk.advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>open", "open>half-open", "half-open>closed"}
+	if len(*transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *transitions, want)
+	}
+	for i := range want {
+		if (*transitions)[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, (*transitions)[i], want[i])
+		}
+	}
+}
+
+func TestBreakerProbeAbortReturnsToken(t *testing.T) {
+	b, clk, _ := newTestBreaker(1, time.Second)
+	b.Failure(errors.New("dark"))
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after cooldown")
+	}
+	// The probing request died for an unrelated reason: the token goes
+	// back and the next caller probes instead.
+	b.ProbeAbort()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after abort = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("aborted probe token was not reissued")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestParseChainFaults(t *testing.T) {
+	fs, err := ParseFaults("chainfault:B:2,chainfault:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 || fs[0].Class != ChainTransient || fs[0].Chain != "B" || fs[0].Count != 2 {
+		t.Fatalf("parsed %+v", fs)
+	}
+	if fs.String() != "chainfault:B:2,chainfault:*:1" {
+		t.Fatalf("round-trip = %q", fs.String())
+	}
+	if _, err := ParseFaults("chainfault::3"); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if _, err := ParseFaults("chainfault:B:0"); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+func TestInjectorChainFault(t *testing.T) {
+	fs, err := ParseFaults("chainfault:B:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(fs, rng.New(1))
+	if !inj.HasChainFaults() {
+		t.Fatal("HasChainFaults = false")
+	}
+	if err := inj.ChainFault("A", 1); err != nil {
+		t.Fatalf("untargeted chain faulted: %v", err)
+	}
+	e1 := inj.ChainFault("B", 1)
+	e2 := inj.ChainFault("B", 2)
+	if e1 == nil || e2 == nil {
+		t.Fatal("budgeted chain attempts did not fault")
+	}
+	if !IsTransient(e1) {
+		t.Fatalf("chain fault not transient: %v", e1)
+	}
+	if err := inj.ChainFault("B", 3); err != nil {
+		t.Fatalf("budget exhausted but still faulting: %v", err)
+	}
+
+	// The wildcard instantiates per chain on first touch.
+	fs, _ = ParseFaults("chainfault:*:1")
+	inj = NewInjector(fs, rng.New(1))
+	if inj.ChainFault("A", 1) == nil || inj.ChainFault("B", 1) == nil {
+		t.Fatal("wildcard did not fault each chain's first attempt")
+	}
+	if inj.ChainFault("A", 2) != nil || inj.ChainFault("B", 2) != nil {
+		t.Fatal("wildcard budget not consumed per chain")
+	}
+
+	// A nil injector injects nothing.
+	var none *Injector
+	if none.ChainFault("A", 1) != nil || none.HasChainFaults() {
+		t.Fatal("nil injector injected a chain fault")
+	}
+}

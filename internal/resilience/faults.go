@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"afsysbench/internal/rng"
 )
@@ -14,7 +15,11 @@ type Fault struct {
 	// DB targets a database by name; "*" targets every database
 	// (Transient/Permanent only).
 	DB string
-	// Count is the number of failing attempts per database (Transient).
+	// Chain targets an MSA chain by id; "*" targets every chain
+	// (ChainTransient only).
+	Chain string
+	// Count is the number of failing attempts per database
+	// (Transient) or per chain (ChainTransient).
 	Count int
 	// Seconds is the stall duration (Stall).
 	Seconds float64
@@ -36,8 +41,13 @@ type Faults []Fault
 //	stall:<seconds>          one MSA worker shard stalls for seconds
 //	memspike:<gib>[:after]   anonymous memory grows by gib GiB after the
 //	                         after-th streamed database (default 0)
+//	chainfault:<chain>[:count]
+//	                         first count search attempts of the MSA chain
+//	                         fail (default 1); a checkpointed stage retry
+//	                         re-runs only the faulted chain
 //
-// <db> is a database name or "*" for all. An empty spec parses to nil.
+// <db> is a database name and <chain> a chain id; both accept "*" for
+// all. An empty spec parses to nil.
 func ParseFaults(spec string) (Faults, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -78,6 +88,19 @@ func ParseFaults(spec string) (Faults, error) {
 				return nil, fmt.Errorf("resilience: bad stall seconds in %q", part)
 			}
 			out = append(out, Fault{Class: Stall, Seconds: sec})
+		case "chainfault":
+			if len(fields) < 2 || len(fields) > 3 || fields[1] == "" {
+				return nil, fmt.Errorf("resilience: bad fault %q: want chainfault:<chain>[:count]", part)
+			}
+			f := Fault{Class: ChainTransient, Chain: fields[1], Count: 1}
+			if len(fields) == 3 {
+				n, err := strconv.Atoi(fields[2])
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("resilience: bad chainfault count in %q", part)
+				}
+				f.Count = n
+			}
+			out = append(out, f)
 		case "memspike":
 			if len(fields) < 2 || len(fields) > 3 {
 				return nil, fmt.Errorf("resilience: bad fault %q: want memspike:<gib>[:after]", part)
@@ -115,6 +138,8 @@ func (fs Faults) String() string {
 			parts = append(parts, fmt.Sprintf("stall:%g", f.Seconds))
 		case MemSpike:
 			parts = append(parts, fmt.Sprintf("memspike:%g:%d", f.GiB, f.AfterDB))
+		case ChainTransient:
+			parts = append(parts, fmt.Sprintf("chainfault:%s:%d", f.Chain, f.Count))
 		}
 	}
 	return strings.Join(parts, ",")
@@ -136,6 +161,14 @@ type Injector struct {
 	stall     float64
 	spikeGiB  float64
 	spikeAt   int
+
+	// Chain-scoped transient budgets. Unlike the database state above —
+	// consumed on the orchestrator's single-threaded control path — chain
+	// faults are consulted from chain attempts that may race (a hedged
+	// backup runs concurrently with its primary), so they carry a lock.
+	chainMu       sync.Mutex
+	chainRem      map[string]int
+	chainWildcard int
 }
 
 // NewInjector builds the injector for one run. src seeds the backoff
@@ -149,10 +182,17 @@ func NewInjector(fs Faults, src *rng.Source) *Injector {
 		src:       src,
 		transient: make(map[string]int),
 		permanent: make(map[string]bool),
+		chainRem:  make(map[string]int),
 		spikeAt:   -1,
 	}
 	for _, f := range fs {
 		switch f.Class {
+		case ChainTransient:
+			if f.Chain == "*" {
+				inj.chainWildcard += f.Count
+			} else {
+				inj.chainRem[f.Chain] += f.Count
+			}
 		case Transient:
 			if f.DB == "*" {
 				inj.wildcard += f.Count
@@ -195,6 +235,43 @@ func (i *Injector) ReadFault(db string, attempt int) error {
 		return &FaultError{Class: Transient, DB: db, Attempt: attempt}
 	}
 	return nil
+}
+
+// ChainFault decides the fate of one MSA chain search attempt (1-based;
+// the hedge backup counts as a further attempt). It returns nil for
+// success or a *FaultError with class ChainTransient. Budgets are
+// consumed per call and persist for the injector's lifetime, so a
+// checkpointed stage retry that re-runs only the faulted chain finds the
+// budget spent and succeeds. Safe for concurrent use (hedged attempts
+// race).
+func (i *Injector) ChainFault(chain string, attempt int) error {
+	if i == nil {
+		return nil
+	}
+	i.chainMu.Lock()
+	defer i.chainMu.Unlock()
+	rem, seen := i.chainRem[chain]
+	if !seen && i.chainWildcard > 0 {
+		rem = i.chainWildcard
+		i.chainRem[chain] = rem
+	}
+	if rem > 0 {
+		i.chainRem[chain] = rem - 1
+		return &FaultError{Class: ChainTransient, DB: "chain/" + chain, Attempt: attempt}
+	}
+	return nil
+}
+
+// HasChainFaults reports whether the spec carries any chain-scoped
+// faults (the serving layer uses it to decide if stage retries are worth
+// arming).
+func (i *Injector) HasChainFaults() bool {
+	if i == nil {
+		return false
+	}
+	i.chainMu.Lock()
+	defer i.chainMu.Unlock()
+	return i.chainWildcard > 0 || len(i.chainRem) > 0
 }
 
 // StallSeconds returns the injected worker-shard stall (0 if none). It is

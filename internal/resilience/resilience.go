@@ -42,6 +42,11 @@ const (
 	// squeezing the page cache and — past the machine's capacity — tripping
 	// the memory ceiling the paper's RNA-1335 run died on.
 	MemSpike
+	// ChainTransient fails an MSA chain's search transiently: the first
+	// Count attempts of each matching chain error out, exercising the
+	// serving layer's checkpointed stage retries (only the faulted chain
+	// re-runs; completed chains replay from the checkpoint).
+	ChainTransient
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +60,8 @@ func (c Class) String() string {
 		return "stall"
 	case MemSpike:
 		return "memspike"
+	case ChainTransient:
+		return "chainfault"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
@@ -72,10 +79,15 @@ func (e *FaultError) Error() string {
 	return fmt.Sprintf("resilience: injected %s fault on %s (attempt %d)", e.Class, e.DB, e.Attempt)
 }
 
-// IsTransient reports whether err is an injected transient fault.
+// IsTransient reports whether err is an injected transient fault —
+// a read fault that clears after a bounded number of attempts, or a
+// chain-scoped transient (both are worth retrying).
 func IsTransient(err error) bool {
-	fe, ok := err.(*FaultError)
-	return ok && fe.Class == Transient
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		return false
+	}
+	return fe.Class == Transient || fe.Class == ChainTransient
 }
 
 // IsPermanent reports whether err is an injected permanent fault.
@@ -100,6 +112,29 @@ func (e ErrDBUnavailable) Error() string {
 
 // Unwrap exposes the final attempt's fault.
 func (e ErrDBUnavailable) Unwrap() error { return e.Cause }
+
+// ErrPanic is the failure recorded when a serving worker recovers a
+// per-job panic: the job is failed with this error (class "panic") while
+// the worker goroutine survives, keeping the pool at full strength. Value
+// is the rendered panic payload.
+type ErrPanic struct {
+	// Stage is where the panic was recovered ("msa", "handoff",
+	// "inference").
+	Stage string
+	// Value is the rendered recover() payload.
+	Value string
+}
+
+// Error implements error.
+func (e ErrPanic) Error() string {
+	return fmt.Sprintf("resilience: recovered panic in %s stage: %s", e.Stage, e.Value)
+}
+
+// IsPanic reports whether err is a recovered worker panic.
+func IsPanic(err error) bool {
+	var ep ErrPanic
+	return errors.As(err, &ep)
+}
 
 // ErrOverloaded is the admission-control shed error: a serving queue was
 // full when the request arrived, so it was rejected deterministically at
@@ -236,6 +271,14 @@ const (
 	KindMemCeiling
 	// KindSingleSequence: the terminal rung — inference ran without an MSA.
 	KindSingleSequence
+	// KindBreakerSkip: a database was excluded before opening because its
+	// circuit breaker was open — the request took the degradation ladder
+	// immediately instead of burning its deadline on doomed retries.
+	KindBreakerSkip
+	// KindChainRetry: an MSA stage attempt failed on a chain and was
+	// retried from its checkpoint (completed chains replayed, only the
+	// failed chain re-run).
+	KindChainRetry
 )
 
 // String implements fmt.Stringer.
@@ -257,6 +300,10 @@ func (k Kind) String() string {
 		return "mem-ceiling"
 	case KindSingleSequence:
 		return "single-sequence"
+	case KindBreakerSkip:
+		return "breaker-skip"
+	case KindChainRetry:
+		return "chain-retry"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

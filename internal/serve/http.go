@@ -40,9 +40,11 @@ type Percentiles struct {
 }
 
 // MetricsSnapshot is the GET /v1/metrics payload: operational counters,
-// cache counters, and the latency summary over terminal requests.
+// state gauges (live pool workers), cache counters, and the latency
+// summary over terminal requests.
 type MetricsSnapshot struct {
 	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
 	Cache    cache.Stats      `json:"cache"`
 	Latency  Percentiles      `json:"latency"`
 }
@@ -59,6 +61,7 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	s.mu.Unlock()
 	return MetricsSnapshot{
 		Counters: s.cfg.Metrics.Snapshot(),
+		Gauges:   s.cfg.Metrics.Gauges(),
 		Cache:    s.cfg.Cache.Stats(),
 		Latency:  Summarize(walls),
 	}
@@ -84,9 +87,13 @@ func Summarize(ms []float64) Percentiles {
 //	GET  /v1/jobs/{id}                          -> JobStatus (404 unknown)
 //	GET  /v1/metrics                            -> MetricsSnapshot
 //	GET  /v1/healthz                            -> 200 ok
+//	GET  /v1/readyz                             -> Readiness (503 not ready)
 //
 // Submit maps admission shedding to 503 (the load generator counts these
-// against its shed rate) and an unknown sample to 400.
+// against its shed rate) and an unknown sample to 400. healthz is
+// liveness — the process answers; readyz is readiness — 503 with the
+// open breakers and/or the saturated admission queue named in the body,
+// so a load balancer can drain a degraded instance before requests fail.
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/submit", func(w http.ResponseWriter, r *http.Request) {
@@ -123,6 +130,14 @@ func NewHandler(s *Server) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		rd := s.Ready()
+		code := http.StatusOK
+		if !rd.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, rd)
 	})
 	return mux
 }

@@ -1,0 +1,292 @@
+// Serving-side fault tolerance: per-database circuit breakers, the hedge
+// budget estimator, pool health accounting and the readiness probe. The
+// scheduler in serve.go consults these around every MSA stage; everything
+// here is advisory control-plane state — it decides *whether and how* a
+// stage runs, while the deterministic pipeline decides *what* it computes.
+package serve
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"afsysbench/internal/core"
+	"afsysbench/internal/resilience"
+)
+
+// HedgeConfig tunes chain-level hedged retries for the MSA stage. When
+// enabled, the server tracks the wall-clock latency of every completed
+// chain search; once MinSamples are in, a chain still running after
+// Factor × the Percentile-th latency gets a concurrent backup attempt, and
+// the first finisher wins. Hedging is latency-only: both attempts compute
+// the same deterministic result.
+type HedgeConfig struct {
+	Enabled bool
+	// Percentile of observed chain latencies that anchors the budget
+	// (default 95).
+	Percentile float64
+	// Factor multiplies the percentile latency into the hedge delay
+	// (default 2).
+	Factor float64
+	// MinSamples is how many chain latencies must be observed before
+	// hedging arms (default 8) — with no history, there is no straggler
+	// definition.
+	MinSamples int
+}
+
+func (h HedgeConfig) withDefaults() HedgeConfig {
+	if h.Percentile <= 0 || h.Percentile > 100 {
+		h.Percentile = 95
+	}
+	if h.Factor <= 0 {
+		h.Factor = 2
+	}
+	if h.MinSamples <= 0 {
+		h.MinSamples = 8
+	}
+	return h
+}
+
+// hedgeEstimator accumulates chain-search latencies and derives the hedge
+// delay. Sample history is bounded so long-lived servers track current
+// behavior rather than averaging over their whole lifetime.
+type hedgeEstimator struct {
+	cfg HedgeConfig
+
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func newHedgeEstimator(cfg HedgeConfig) *hedgeEstimator {
+	return &hedgeEstimator{cfg: cfg.withDefaults()}
+}
+
+// observe records one completed chain search (the msa.Options.ChainDone
+// hook). Checkpoint replays never reach here — they cost no search time.
+func (h *hedgeEstimator) observe(chainID string, wall time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, wall)
+	if len(h.samples) > 4096 {
+		h.samples = append([]time.Duration(nil), h.samples[len(h.samples)-2048:]...)
+	}
+	h.mu.Unlock()
+}
+
+// budget returns the hedge delay for the next stage, or 0 while unarmed.
+func (h *hedgeEstimator) budget() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n < h.cfg.MinSamples {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(h.cfg.Percentile/100*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	d := time.Duration(h.cfg.Factor * float64(sorted[idx]))
+	if d <= 0 {
+		return 0
+	}
+	return d
+}
+
+// initBreakers builds one circuit breaker per database in the suite's
+// catalog. Breakers are created once and the map is read-only afterwards;
+// each breaker carries its own lock.
+func (s *Server) initBreakers() {
+	s.breakers = make(map[string]*resilience.Breaker)
+	var names []string
+	for _, db := range s.suite.DBs.Protein {
+		names = append(names, db.Name)
+	}
+	for _, db := range s.suite.DBs.RNA {
+		names = append(names, db.Name)
+	}
+	for _, name := range names {
+		s.breakers[name] = resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold: s.cfg.BreakerThreshold,
+			Cooldown:  s.cfg.BreakerCooldown,
+			OnTransition: func(from, to resilience.BreakerState) {
+				s.cfg.Metrics.Add("breaker_to_"+to.String(), 1)
+			},
+		})
+	}
+}
+
+// breakerPlan consults each needed database's breaker before the MSA
+// stage. Open breakers put the database in the skip set — the pipeline
+// sheds it at open time (KindBreakerSkip) instead of probing a shard known
+// to be dark. A breaker granting a half-open probe is returned in probes;
+// the stage outcome must settle every probe (Success, Failure or
+// ProbeAbort) via feedBreakers. Names are walked in sorted order so
+// metering is deterministic.
+func (s *Server) breakerPlan(job *Job) (skip map[string]bool, probes []string) {
+	if len(s.breakers) == 0 {
+		return nil, nil
+	}
+	for _, name := range s.neededDBNames(job) {
+		b := s.breakers[name]
+		if b == nil {
+			continue
+		}
+		if b.Allow() {
+			if b.State() == resilience.BreakerHalfOpen {
+				probes = append(probes, name)
+				s.cfg.Metrics.Add("breaker_probes", 1)
+			}
+			continue
+		}
+		if skip == nil {
+			skip = make(map[string]bool)
+		}
+		skip[name] = true
+		s.cfg.Metrics.Add("breaker_rejections", 1)
+	}
+	return skip, probes
+}
+
+// feedBreakers settles the MSA stage outcome with every involved breaker.
+// Only a freshly computed phase is evidence: a database the stage dropped
+// (KindDropDB) counts as a failure for its breaker, and every needed,
+// non-skipped database that survived counts as a success. A failed stage
+// or a cache hit says nothing about database health, so outstanding probe
+// tokens are returned for the next request to spend.
+func (s *Server) feedBreakers(job *Job, mp *core.MSAPhase, hit bool, err error, skip map[string]bool, probes []string) {
+	if len(s.breakers) == 0 {
+		return
+	}
+	if err != nil || hit || mp == nil {
+		for _, name := range probes {
+			s.breakers[name].ProbeAbort()
+		}
+		return
+	}
+	dropCause := make(map[string]string)
+	for _, ev := range mp.Resilience.Events {
+		if ev.Kind == resilience.KindDropDB && ev.DB != "" {
+			dropCause[ev.DB] = ev.Detail
+		}
+	}
+	for _, name := range s.neededDBNames(job) {
+		if skip[name] {
+			continue // never touched this stage
+		}
+		b := s.breakers[name]
+		if b == nil {
+			continue
+		}
+		if detail, dropped := dropCause[name]; dropped {
+			b.Failure(errors.New(detail))
+			s.cfg.Metrics.Add("breaker_failures", 1)
+		} else {
+			b.Success()
+		}
+	}
+}
+
+// neededDBNames returns the sorted names of the databases a job's input
+// searches.
+func (s *Server) neededDBNames(job *Job) []string {
+	needed := s.suite.NeededDBs(job.in)
+	names := make([]string, 0, len(needed))
+	for name := range needed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BreakerSnapshots returns each database breaker's state and counters,
+// keyed by database name.
+func (s *Server) BreakerSnapshots() map[string]resilience.BreakerSnapshot {
+	out := make(map[string]resilience.BreakerSnapshot, len(s.breakers))
+	for name, b := range s.breakers {
+		out[name] = b.Snapshot()
+	}
+	return out
+}
+
+// PoolHealth reports configured versus live worker counts for both pools.
+// Because per-job panics are recovered inside the worker loop, Live must
+// equal Configured for the whole life of a started server; a shortfall
+// means a worker goroutine died, which the chaos harness treats as a
+// failed invariant. After Stop both Live counts return to zero.
+type PoolHealth struct {
+	MSAConfigured int `json:"msa_configured"`
+	MSALive       int `json:"msa_live"`
+	GPUConfigured int `json:"gpu_configured"`
+	GPULive       int `json:"gpu_live"`
+}
+
+// FullStrength reports whether every configured worker is live.
+func (p PoolHealth) FullStrength() bool {
+	return p.MSALive == p.MSAConfigured && p.GPULive == p.GPUConfigured
+}
+
+// PoolHealth returns the current pool strength.
+func (s *Server) PoolHealth() PoolHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return PoolHealth{
+		MSAConfigured: s.cfg.MSAWorkers,
+		MSALive:       s.msaLive,
+		GPUConfigured: s.cfg.GPUWorkers,
+		GPULive:       s.gpuLive,
+	}
+}
+
+// Readiness is the payload of GET /v1/readyz: whether the server should
+// receive traffic, and if not, why — open circuit breakers and/or a
+// saturated admission queue.
+type Readiness struct {
+	Ready bool `json:"ready"`
+	// OpenBreakers names databases whose circuit breakers are open, in
+	// sorted order.
+	OpenBreakers []string `json:"open_breakers,omitempty"`
+	// QueueDepth/QueueCapacity describe the admission queue;
+	// QueueSaturated is true when a submit right now would shed.
+	QueueDepth     int  `json:"queue_depth"`
+	QueueCapacity  int  `json:"queue_capacity"`
+	QueueSaturated bool `json:"queue_saturated,omitempty"`
+	// Breakers holds the snapshot of every breaker not in the closed
+	// state.
+	Breakers map[string]resilience.BreakerSnapshot `json:"breakers,omitempty"`
+}
+
+// Ready computes the readiness verdict: the server is ready when it is
+// started, not stopped, no database breaker is open, and the admission
+// queue has room.
+func (s *Server) Ready() Readiness {
+	r := Readiness{
+		QueueDepth:    len(s.msaQ),
+		QueueCapacity: cap(s.msaQ),
+	}
+	r.QueueSaturated = r.QueueDepth >= r.QueueCapacity
+	for name, b := range s.breakers {
+		snap := b.Snapshot()
+		if snap.State == resilience.BreakerClosed.String() {
+			continue
+		}
+		if r.Breakers == nil {
+			r.Breakers = make(map[string]resilience.BreakerSnapshot)
+		}
+		r.Breakers[name] = snap
+		if snap.State == resilience.BreakerOpen.String() {
+			r.OpenBreakers = append(r.OpenBreakers, name)
+		}
+	}
+	sort.Strings(r.OpenBreakers)
+	s.mu.Lock()
+	running := s.started && !s.stopped
+	s.mu.Unlock()
+	r.Ready = running && len(r.OpenBreakers) == 0 && !r.QueueSaturated
+	return r
+}

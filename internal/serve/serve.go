@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,9 +44,11 @@ import (
 	"afsysbench/internal/core"
 	"afsysbench/internal/inputs"
 	"afsysbench/internal/metering"
+	"afsysbench/internal/msa"
 	"afsysbench/internal/parallel"
 	"afsysbench/internal/platform"
 	"afsysbench/internal/resilience"
+	"afsysbench/internal/rng"
 	"afsysbench/internal/simgpu"
 )
 
@@ -129,6 +132,36 @@ type Config struct {
 	// Metrics receives operational counters; nil creates a private
 	// registry (exposed via MetricsSnapshot and the /v1/metrics endpoint).
 	Metrics *metering.Registry
+	// Faults is the fault specification applied to every request (chaos
+	// and robustness testing). Each job gets its own injector, seeded
+	// deterministically from (suite seed, job ordinal), that persists
+	// across MSA stage retries — so a transient budget consumed by attempt
+	// one stays consumed for attempt two.
+	Faults resilience.Faults
+	// Retry tunes transient-fault backoff inside the pipeline (zero value:
+	// the standard capped-exponential policy).
+	Retry resilience.RetryPolicy
+	// MSAAttempts bounds MSA stage attempts per request (default 1 — no
+	// retry). With more than one attempt each job carries a chain
+	// checkpoint, so a retry re-runs only the chains that had not finished
+	// when the previous attempt faulted.
+	MSAAttempts int
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// database's circuit breaker (default 5); BreakerCooldown is how long
+	// an open breaker rejects before allowing a half-open probe (default
+	// 10s). An open breaker makes requests skip that database up front —
+	// the degradation ladder runs immediately instead of re-proving a dark
+	// shard on every request — and the result is annotated partial_msa.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Hedge tunes chain-level hedged retries for straggling MSA chains.
+	Hedge HedgeConfig
+	// PanicHook, when set, is called at the worker guard points — "msa"
+	// (stage start), "handoff" (after MSA success, before the GPU queue
+	// send) and "inference" (stage start) — with the job's ordinal. Chaos
+	// mode panics inside it to prove worker panic isolation: the job fails
+	// with error class "panic" and the worker survives.
+	PanicHook func(point string, ordinal int)
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +182,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = metering.NewRegistry()
+	}
+	if c.MSAAttempts <= 0 {
+		c.MSAAttempts = 1
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
 	}
 	return c
 }
@@ -171,6 +213,16 @@ type Job struct {
 	errClass string
 	msaPhase *core.MSAPhase
 	result   *core.PipelineResult
+	// partialMSA marks a result computed with one or more databases
+	// skipped by an open circuit breaker.
+	partialMSA bool
+	// inj is the job's fault injector (nil without configured faults). It
+	// lives on the job, not the stage attempt, so transient budgets are
+	// consumed exactly once across retries.
+	inj *resilience.Injector
+	// checkpoint preserves completed MSA chain deltas across stage
+	// retries (nil when MSAAttempts is 1).
+	checkpoint *msa.Checkpoint
 	// chargedMSASeconds is the modeled MSA time this request actually paid:
 	// the phase time on a miss, zero on a cache hit (the fetch is free at
 	// model scale). The modeled scheduler and the per-job status use it.
@@ -190,9 +242,12 @@ type JobStatus struct {
 	MSASeconds       float64 `json:"msa_seconds"`
 	InferenceSeconds float64 `json:"inference_seconds"`
 	Degraded         bool    `json:"degraded,omitempty"`
-	Error            string  `json:"error,omitempty"`
-	ErrorClass       string  `json:"error_class,omitempty"`
-	WallMs           float64 `json:"wall_ms,omitempty"`
+	// PartialMSA marks a result computed with databases skipped by an
+	// open circuit breaker (a strict subset of Degraded).
+	PartialMSA bool    `json:"partial_msa,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	ErrorClass string  `json:"error_class,omitempty"`
+	WallMs     float64 `json:"wall_ms,omitempty"`
 }
 
 // Server is the phase-split scheduler. Build with New (or NewWithSuite),
@@ -214,6 +269,17 @@ type Server struct {
 	infQ chan *Job
 	wgA  sync.WaitGroup // MSA workers
 	wgB  sync.WaitGroup // GPU workers
+
+	// msaLive/gpuLive count live worker goroutines (PoolHealth); guarded
+	// by mu.
+	msaLive int
+	gpuLive int
+
+	// breakers is one circuit breaker per database, built at construction
+	// and read-only afterwards (each breaker has its own lock).
+	breakers map[string]*resilience.Breaker
+	// hedge estimates the chain-hedging delay (nil unless enabled).
+	hedge *hedgeEstimator
 }
 
 // New builds a server with its own suite instance (synthetic databases,
@@ -239,6 +305,10 @@ func NewWithSuite(suite *core.Suite, cfg Config) *Server {
 		infQ:  make(chan *Job, cfg.QueueDepth),
 	}
 	s.idle.L = &s.mu
+	s.initBreakers()
+	if cfg.Hedge.Enabled {
+		s.hedge = newHedgeEstimator(cfg.Hedge)
+	}
 	return s
 }
 
@@ -330,6 +400,15 @@ func (s *Server) Submit(req Request) (string, error) {
 		state:     StateQueued,
 	}
 	job.id = fmt.Sprintf("j%04d-%s", job.ordinal, in.Name)
+	if len(s.cfg.Faults) > 0 {
+		// One injector per job, seeded by ordinal: fault decisions are a
+		// pure function of the trace, and budgets persist across stage
+		// retries.
+		job.inj = resilience.NewInjector(s.cfg.Faults, rng.New(s.suite.Seed).Split(uint64(job.ordinal)))
+	}
+	if s.cfg.MSAAttempts > 1 {
+		job.checkpoint = msa.NewCheckpoint()
+	}
 	select {
 	case s.msaQ <- job:
 	default:
@@ -409,6 +488,7 @@ func (s *Server) statusLocked(job *Job) JobStatus {
 		st.MSASeconds = job.chargedMSASeconds
 		st.InferenceSeconds = job.result.Inference.Total()
 		st.Degraded = job.result.Resilience.Degraded
+		st.PartialMSA = job.partialMSA
 	}
 	return st
 }
@@ -437,7 +517,9 @@ func (s *Server) pipelineOpts(job *Job) core.PipelineOptions {
 		RunIndex:  0,
 		WarmStart: !s.cfg.ColdModel,
 		Budget:    s.cfg.Budget,
+		Retry:     s.cfg.Retry,
 		FreshMSA:  true,
+		Injector:  job.inj,
 	}
 }
 
@@ -445,8 +527,19 @@ func (s *Server) pipelineOpts(job *Job) core.PipelineOptions {
 // determines the phase result goes in — the query content, the database
 // set identity (msa.DBSet.Fingerprint), the machine the storage/CPU models
 // replay on, the thread count that shapes the scan, the suite seed behind
-// the timing model, and the stage budget that can trigger degradation.
-func (s *Server) msaKey(job *Job) string {
+// the timing model, the stage budget that can trigger degradation, and the
+// breaker skip set (a partial result computed around an open breaker must
+// never be served to a request with the full profile, or vice versa).
+func (s *Server) msaKey(job *Job, skip map[string]bool) string {
+	skipSig := "none"
+	if len(skip) > 0 {
+		names := make([]string, 0, len(skip))
+		for name := range skip {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		skipSig = strings.Join(names, "+")
+	}
 	return cache.Key(
 		"msa-phase/v1",
 		inputFingerprint(job.in),
@@ -455,6 +548,7 @@ func (s *Server) msaKey(job *Job) string {
 		strconv.Itoa(job.threads),
 		fmt.Sprintf("seed=%x", s.suite.Seed),
 		fmt.Sprintf("budget=%g", s.cfg.Budget.MSASeconds),
+		"skip="+skipSig,
 	)
 }
 
@@ -473,16 +567,62 @@ func inputFingerprint(in *inputs.Input) string {
 
 func (s *Server) msaWorker() {
 	defer s.wgA.Done()
+	s.adjustLive(&s.msaLive, 1)
+	defer s.adjustLive(&s.msaLive, -1)
 	for job := range s.msaQ {
-		s.runMSA(job)
+		s.runMSAGuarded(job)
 	}
 }
 
 func (s *Server) gpuWorker() {
 	defer s.wgB.Done()
+	s.adjustLive(&s.gpuLive, 1)
+	defer s.adjustLive(&s.gpuLive, -1)
 	for job := range s.infQ {
-		s.runInference(job)
+		s.runInferenceGuarded(job)
 	}
+}
+
+func (s *Server) adjustLive(counter *int, delta int) {
+	s.mu.Lock()
+	*counter += delta
+	msaLive, gpuLive := s.msaLive, s.gpuLive
+	s.mu.Unlock()
+	// Pool-health gauges: a shortfall against the configured pool size on a
+	// running server means a worker goroutine died.
+	s.cfg.Metrics.SetGauge("msa_workers_live", int64(msaLive))
+	s.cfg.Metrics.SetGauge("gpu_workers_live", int64(gpuLive))
+}
+
+// runMSAGuarded isolates per-job panics: a panic anywhere in the MSA stage
+// (or the hand-off hook) fails that one job with error class "panic" while
+// the worker goroutine survives, keeping the pool at full strength. The
+// stage marker distinguishes a panic during the search ("msa") from one at
+// the GPU-queue hand-off ("handoff") — the hand-off case is the historical
+// job-drain bug: the job was accepted by the MSA pool but never reached
+// the GPU pool, so only the recovery path can make it terminal.
+func (s *Server) runMSAGuarded(job *Job) {
+	stage := "msa"
+	defer func() {
+		if r := recover(); r != nil {
+			s.cfg.Metrics.Add("worker_panics", 1)
+			s.cfg.Metrics.Add("worker_panics_"+stage, 1)
+			s.fail(job, resilience.ErrPanic{Stage: stage, Value: fmt.Sprint(r)})
+		}
+	}()
+	s.runMSA(job, &stage)
+}
+
+// runInferenceGuarded is runMSAGuarded's GPU-side twin.
+func (s *Server) runInferenceGuarded(job *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.cfg.Metrics.Add("worker_panics", 1)
+			s.cfg.Metrics.Add("worker_panics_inference", 1)
+			s.fail(job, resilience.ErrPanic{Stage: "inference", Value: fmt.Sprint(r)})
+		}
+	}()
+	s.runInference(job)
 }
 
 // jobCtx derives the request's wall-clock context from its deadline.
@@ -497,27 +637,73 @@ func (s *Server) jobCtx(job *Job) (context.Context, context.CancelFunc) {
 // the GPU pool. The send into the inference queue blocks when the GPU pool
 // is saturated — that backpressure is the pipelining: this MSA worker
 // pauses instead of racing ahead unboundedly.
-func (s *Server) runMSA(job *Job) {
+//
+// The fault-tolerance envelope around the stage: the breaker plan decides
+// which databases are skipped up front; the stage retry loop re-runs a
+// transiently faulted search up to MSAAttempts times, with the job's
+// checkpoint replaying every chain the failed attempt completed; the hedge
+// estimator (when enabled) sets the straggling-chain backup delay; and the
+// stage outcome settles every involved breaker.
+func (s *Server) runMSA(job *Job, stage *string) {
 	s.setState(job, StateMSA)
 	s.cfg.Metrics.Add("msa_stage_runs", 1)
+	if h := s.cfg.PanicHook; h != nil {
+		h("msa", job.ordinal)
+	}
 	ctx, cancel := s.jobCtx(job)
 	defer cancel()
+	skip, probes := s.breakerPlan(job)
 	opts := s.pipelineOpts(job)
-	v, hit, err := s.cfg.Cache.GetOrCompute(s.msaKey(job), func() (any, int64, error) {
-		mp, err := s.suite.RunMSAPhase(ctx, job.in, job.machine, opts)
-		if err != nil {
-			return nil, 0, err
+	opts.SkipDBs = skip
+	opts.MSACheckpoint = job.checkpoint
+	if s.hedge != nil {
+		opts.ChainDone = s.hedge.observe
+		opts.HedgeAfter = s.hedge.budget()
+	}
+	var mp *core.MSAPhase
+	v, hit, err := s.cfg.Cache.GetOrCompute(s.msaKey(job, skip), func() (any, int64, error) {
+		for attempt := 1; ; attempt++ {
+			m, err := s.suite.RunMSAPhase(ctx, job.in, job.machine, opts)
+			if err == nil {
+				if attempt > 1 {
+					restored := 0
+					if m.Data != nil {
+						restored = m.Data.RestoredChains
+					}
+					m.Resilience.Record(resilience.Event{
+						Stage: "msa", Kind: resilience.KindChainRetry,
+						Detail: fmt.Sprintf("stage attempt %d succeeded; %d chains replayed from checkpoint", attempt, restored),
+					})
+				}
+				return m, m.SizeBytes(), nil
+			}
+			if attempt >= s.cfg.MSAAttempts || !resilience.IsTransient(err) || ctx.Err() != nil {
+				return nil, 0, err
+			}
+			s.cfg.Metrics.Add("msa_stage_retries", 1)
 		}
-		return mp, mp.SizeBytes(), nil
 	})
+	if err == nil {
+		mp = v.(*core.MSAPhase)
+	}
+	s.feedBreakers(job, mp, hit, err, skip, probes)
 	if err != nil {
 		s.fail(job, err)
 		return
 	}
-	mp := v.(*core.MSAPhase)
+	if !hit && mp.Data != nil {
+		if mp.Data.Hedges > 0 {
+			s.cfg.Metrics.Add("msa_hedges", int64(mp.Data.Hedges))
+			s.cfg.Metrics.Add("msa_hedge_backup_wins", int64(mp.Data.HedgeBackupWins))
+		}
+		if mp.Data.RestoredChains > 0 {
+			s.cfg.Metrics.Add("msa_chains_restored", int64(mp.Data.RestoredChains))
+		}
+	}
 	s.mu.Lock()
 	job.msaPhase = mp
 	job.cacheHit = hit
+	job.partialMSA = len(skip) > 0
 	if hit {
 		job.chargedMSASeconds = 0
 	} else {
@@ -527,13 +713,31 @@ func (s *Server) runMSA(job *Job) {
 	if hit {
 		s.cfg.Metrics.Add("msa_cache_hits", 1)
 	}
+	if len(skip) > 0 {
+		s.cfg.Metrics.Add("requests_partial_msa", 1)
+	}
+	*stage = "handoff"
+	if h := s.cfg.PanicHook; h != nil {
+		h("handoff", job.ordinal)
+	}
 	s.infQ <- job
 }
 
-// runInference executes the inference stage and completes the job.
+// runInference executes the inference stage and completes the job. A job
+// that somehow arrives already terminal (failed elsewhere under fault
+// load) is left alone — terminal states are final.
 func (s *Server) runInference(job *Job) {
-	s.setState(job, StateInference)
+	s.mu.Lock()
+	if job.state == StateDone || job.state == StateFailed {
+		s.mu.Unlock()
+		return
+	}
+	job.state = StateInference
+	s.mu.Unlock()
 	s.cfg.Metrics.Add("inference_stage_runs", 1)
+	if h := s.cfg.PanicHook; h != nil {
+		h("inference", job.ordinal)
+	}
 	ctx, cancel := s.jobCtx(job)
 	defer cancel()
 	opts := s.pipelineOpts(job)
@@ -544,6 +748,10 @@ func (s *Server) runInference(job *Job) {
 	}
 	res := core.ComposeResult(job.in, job.machine, job.threads, job.msaPhase, pb)
 	s.mu.Lock()
+	if job.state == StateDone || job.state == StateFailed {
+		s.mu.Unlock()
+		return
+	}
 	job.result = res
 	job.state = StateDone
 	job.wallSeconds = time.Since(job.submitted).Seconds()
@@ -556,12 +764,17 @@ func (s *Server) runInference(job *Job) {
 }
 
 // ErrorClass buckets a request failure for metrics, exit codes and the
-// HTTP API: "timeout" (deadline or stage budget), "oom" (the §VI memory
-// gate), "overloaded" (admission shed), "error" otherwise.
+// HTTP API: "panic" (a recovered worker panic), "timeout" (deadline or
+// stage budget), "oom" (the §VI memory gate), "overloaded" (admission
+// shed), "fault" (an injected or storage fault that exhausted its retry
+// budget — including a database that stayed dark), "error" otherwise.
 func ErrorClass(err error) string {
 	var st resilience.ErrStageTimeout
 	var oom core.ErrProjectedOOM
+	var fe *resilience.FaultError
 	switch {
+	case resilience.IsPanic(err):
+		return "panic"
 	case errors.As(err, &st),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
@@ -570,14 +783,23 @@ func ErrorClass(err error) string {
 		return "oom"
 	case resilience.IsOverloaded(err):
 		return "overloaded"
+	case errors.As(err, &fe):
+		return "fault"
 	default:
 		return "error"
 	}
 }
 
+// fail moves a job to StateFailed. Idempotent: a job already terminal is
+// left untouched, so the panic-recovery path and a concurrent stage
+// completion cannot double-fail (or double-decrement the pending count).
 func (s *Server) fail(job *Job, err error) {
 	class := ErrorClass(err)
 	s.mu.Lock()
+	if job.state == StateDone || job.state == StateFailed {
+		s.mu.Unlock()
+		return
+	}
 	job.err = err
 	job.errClass = class
 	job.state = StateFailed
@@ -590,7 +812,9 @@ func (s *Server) fail(job *Job, err error) {
 
 func (s *Server) setState(job *Job, st State) {
 	s.mu.Lock()
-	job.state = st
+	if job.state != StateDone && job.state != StateFailed {
+		job.state = st
+	}
 	s.mu.Unlock()
 }
 

@@ -269,10 +269,10 @@ func TestCacheKeyComposition(t *testing.T) {
 	s := NewWithSuite(sharedSuite, Config{})
 	defer s.Stop()
 
-	if s.msaKey(jobAt(4)) != s.msaKey(jobAt(4)) {
+	if s.msaKey(jobAt(4), nil) != s.msaKey(jobAt(4), nil) {
 		t.Fatal("key not stable")
 	}
-	if s.msaKey(jobAt(4)) == s.msaKey(jobAt(8)) {
+	if s.msaKey(jobAt(4), nil) == s.msaKey(jobAt(8), nil) {
 		t.Fatal("key ignores thread count")
 	}
 
@@ -285,7 +285,7 @@ func TestCacheKeyComposition(t *testing.T) {
 	suite2.DBs.Protein = suite2.DBs.Protein[1:] // drop one database
 	s2 := NewWithSuite(suite2, Config{})
 	defer s2.Stop()
-	if s.msaKey(jobAt(4)) == s2.msaKey(jobAt(4)) {
+	if s.msaKey(jobAt(4), nil) == s2.msaKey(jobAt(4), nil) {
 		t.Fatal("key ignores database-set identity")
 	}
 
