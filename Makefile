@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race faults chaos bench bench-msa bench-msa-smoke serve-bench serve-smoke
+.PHONY: all build test check fmt vet race faults chaos bench bench-msa bench-msa-smoke swar-smoke serve-bench serve-smoke
 
 all: build
 
@@ -26,9 +26,13 @@ vet:
 # Race-check the concurrent hot path: the parallel engine itself, the
 # packages whose kernels shard over it (including the hmmer scan-workspace
 # pool that msa workers draw from concurrently), and the serving subsystem
-# (cache singleflight, scheduler pools).
+# (cache singleflight, scheduler pools). The hmmer run names the Fuzz seed
+# corpora explicitly so the SWAR soundness fuzz targets (lane-op models,
+# MSV/band reject-only proofs, plus testdata regression entries) replay
+# under the race detector on every gate.
 race:
-	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion ./internal/cache ./internal/serve ./internal/hmmer ./internal/msa
+	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion ./internal/cache ./internal/serve ./internal/msa
+	$(GO) test -race -run 'Test|Fuzz' ./internal/hmmer
 
 # Fault-injection and degradation suite under the race detector: the
 # resilience package, the cancellation paths through the scan engine, and
@@ -47,23 +51,38 @@ faults:
 chaos:
 	$(GO) run -race ./cmd/afload -chaos -seed 7 -n 120 -concurrency 8 -mix 2PV7:4,1YY9:1 -threads 2 -msa-workers 4 -gpu-workers 2
 
-check: fmt vet test race faults chaos bench-msa-smoke serve-smoke
+check: fmt vet test race faults chaos swar-smoke bench-msa-smoke serve-smoke
 
 # Kernel microbenchmarks with allocation tracking (serial vs parallel).
 bench:
 	$(GO) test -run xxx -bench 'MatMul|TriangleAttention|BlockApply|DiffusionDenoise' -benchmem ./internal/tensor ./internal/pairformer ./internal/diffusion
 
-# MSA scan hot-path benchmarks: the optimized kernel cascade (transposed
-# layout, pooled workspaces, pruning) against the pre-optimization reference
-# kernels, plus the 0-alloc steady-state path. Emits BENCH_msa.json with a
-# benchstat-compatible extract inside.
+# MSA scan hot-path benchmarks: three kernel arms on identical inputs —
+# reference (pre-optimization float), optimized (float cascade, SWAR off),
+# swar (8-bit SWAR pre-passes armed) — plus the 0-alloc steady-state path.
+# Emits BENCH_msa.json with a benchstat-compatible extract and a per-family
+# speedup block inside. VARIANT=reference|optimized|swar narrows to one arm:
+#   make bench-msa VARIANT=swar
+VARIANT ?= all
+ifeq ($(VARIANT),all)
+BENCH_MSA_RE := BenchmarkScan
+else
+BENCH_MSA_RE := BenchmarkScan(Protein|Nucleotide)/$(VARIANT)$$|BenchmarkScanRecordSteadyState
+endif
 bench-msa:
-	$(GO) test -run '^$$' -bench 'BenchmarkScan' -benchmem -benchtime 2s -count 3 ./internal/hmmer | $(GO) run ./cmd/afbenchjson -o BENCH_msa.json
+	$(GO) test -run '^$$' -bench '$(BENCH_MSA_RE)' -benchmem -benchtime 2s -count 3 ./internal/hmmer | $(GO) run ./cmd/afbenchjson -o BENCH_msa.json
 
 # Smoke variant for the check gate: one iteration per benchmark, no artifact
 # left behind, just proof the harness runs end to end.
 bench-msa-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkScan' -benchmem -benchtime 1x ./internal/hmmer | $(GO) run ./cmd/afbenchjson -o /tmp/BENCH_msa_smoke.json
+
+# SWAR equivalence smoke for the check gate: scans a small DB with the 8-bit
+# pre-passes on, off, and through the stripped reference kernels, asserting
+# bitwise-identical hit lists, a nonzero swar-rejected lane counter, and
+# per-shard determinism at several worker counts.
+swar-smoke:
+	$(GO) test -run 'TestSWARScanSmoke|TestSWARKillSwitch' -count 1 ./internal/hmmer
 
 # Serving benchmark: a repeat-heavy closed-loop mix through the phase-split
 # scheduler, with and without the MSA cache. Emits BENCH_serve.json.

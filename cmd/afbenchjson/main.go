@@ -21,11 +21,37 @@ import (
 
 // Entry is one parsed benchmark result line.
 type Entry struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Variant labels the kernel arm for the repo's A/B/C scan benchmarks:
+	// "reference" (pre-optimization float kernels), "optimized" (float
+	// cascade, SWAR off), or "swar" (8-bit SWAR pre-passes armed).
+	Variant     string  `json:"kernel_variant,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Env captures where the numbers were measured, parsed from the benchmark
+// context headers, plus the SWAR lane geometry baked into the binary.
+type Env struct {
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// SWARLaneWidth is the number of saturating 8-bit lanes per packed word
+	// in the SWAR kernels (8 lanes in a uint64).
+	SWARLaneWidth int `json:"swar_lane_width"`
+}
+
+// Speedup summarizes one benchmark family's kernel-variant ratios.
+type Speedup struct {
+	Benchmark            string  `json:"benchmark"`
+	ReferenceNsPerOp     float64 `json:"reference_ns_per_op,omitempty"`
+	OptimizedNsPerOp     float64 `json:"optimized_ns_per_op,omitempty"`
+	SWARNsPerOp          float64 `json:"swar_ns_per_op,omitempty"`
+	OptimizedVsReference float64 `json:"optimized_vs_reference,omitempty"`
+	SWARVsReference      float64 `json:"swar_vs_reference,omitempty"`
+	SWARVsOptimized      float64 `json:"swar_vs_optimized,omitempty"`
 }
 
 // Artifact is the emitted JSON document.
@@ -34,7 +60,73 @@ type Artifact struct {
 	// headers plus Benchmark... results) exactly as Go printed them, ready
 	// to be fed to benchstat.
 	Benchstat string  `json:"benchstat"`
+	Env       Env     `json:"env"`
 	Entries   []Entry `json:"entries"`
+	// Speedup compares the kernel variants of each benchmark that ran more
+	// than one arm (ratios are ns/op quotients, higher = faster than the
+	// denominator arm).
+	Speedup []Speedup `json:"speedup,omitempty"`
+}
+
+// variantOf extracts the kernel-variant leaf of a benchmark name, tolerating
+// the -GOMAXPROCS suffix go test appends ("BenchmarkScanProtein/swar-8").
+func variantOf(name string) (base, variant string) {
+	i := strings.LastIndexByte(name, '/')
+	if i < 0 {
+		return name, ""
+	}
+	leaf := name[i+1:]
+	if j := strings.LastIndexByte(leaf, '-'); j > 0 {
+		if _, err := strconv.Atoi(leaf[j+1:]); err == nil {
+			leaf = leaf[:j]
+		}
+	}
+	switch leaf {
+	case "reference", "optimized", "swar":
+		return name[:i], leaf
+	}
+	return name, ""
+}
+
+// speedups builds the per-family variant comparison from the parsed entries.
+func speedups(entries []Entry) []Speedup {
+	byBase := map[string]*Speedup{}
+	var order []string
+	for _, e := range entries {
+		if e.Variant == "" {
+			continue
+		}
+		base, _ := variantOf(e.Name)
+		s := byBase[base]
+		if s == nil {
+			s = &Speedup{Benchmark: base}
+			byBase[base] = s
+			order = append(order, base)
+		}
+		switch e.Variant {
+		case "reference":
+			s.ReferenceNsPerOp = e.NsPerOp
+		case "optimized":
+			s.OptimizedNsPerOp = e.NsPerOp
+		case "swar":
+			s.SWARNsPerOp = e.NsPerOp
+		}
+	}
+	var out []Speedup
+	for _, base := range order {
+		s := byBase[base]
+		if s.ReferenceNsPerOp > 0 && s.OptimizedNsPerOp > 0 {
+			s.OptimizedVsReference = s.ReferenceNsPerOp / s.OptimizedNsPerOp
+		}
+		if s.ReferenceNsPerOp > 0 && s.SWARNsPerOp > 0 {
+			s.SWARVsReference = s.ReferenceNsPerOp / s.SWARNsPerOp
+		}
+		if s.OptimizedNsPerOp > 0 && s.SWARNsPerOp > 0 {
+			s.SWARVsOptimized = s.OptimizedNsPerOp / s.SWARNsPerOp
+		}
+		out = append(out, *s)
+	}
+	return out
 }
 
 // parseLine parses one "BenchmarkX-8  123  456 ns/op [789 B/op  12 allocs/op]"
@@ -49,6 +141,7 @@ func parseLine(line string) (Entry, bool) {
 		return Entry{}, false
 	}
 	e := Entry{Name: fields[0], Iterations: iters}
+	_, e.Variant = variantOf(fields[0])
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -79,7 +172,7 @@ func benchstatLine(line string) bool {
 }
 
 func run(in *bufio.Scanner, outPath string) error {
-	var art Artifact
+	art := Artifact{Env: Env{SWARLaneWidth: 8}}
 	var raw strings.Builder
 	for in.Scan() {
 		line := in.Text()
@@ -87,6 +180,15 @@ func run(in *bufio.Scanner, outPath string) error {
 		if benchstatLine(line) {
 			raw.WriteString(line)
 			raw.WriteByte('\n')
+			t := strings.TrimSpace(line)
+			switch {
+			case strings.HasPrefix(t, "goos:"):
+				art.Env.GOOS = strings.TrimSpace(t[len("goos:"):])
+			case strings.HasPrefix(t, "goarch:"):
+				art.Env.GOARCH = strings.TrimSpace(t[len("goarch:"):])
+			case strings.HasPrefix(t, "cpu:"):
+				art.Env.CPU = strings.TrimSpace(t[len("cpu:"):])
+			}
 		}
 		if e, ok := parseLine(line); ok {
 			art.Entries = append(art.Entries, e)
@@ -99,6 +201,7 @@ func run(in *bufio.Scanner, outPath string) error {
 		return fmt.Errorf("no benchmark result lines found on stdin")
 	}
 	art.Benchstat = raw.String()
+	art.Speedup = speedups(art.Entries)
 	data, err := json.MarshalIndent(&art, "", "  ")
 	if err != nil {
 		return err

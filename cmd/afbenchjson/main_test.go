@@ -15,6 +15,7 @@ pkg: afsysbench/internal/hmmer
 cpu: Intel(R) Xeon(R)
 BenchmarkScanProtein/reference 	      54	  44625962 ns/op	 1461356 B/op	    9974 allocs/op
 BenchmarkScanProtein/optimized 	     151	  17105612 ns/op	 1154687 B/op	    9674 allocs/op
+BenchmarkScanProtein/swar-8 	     301	   8552806 ns/op	 1154687 B/op	    9674 allocs/op
 BenchmarkScanRecordSteadyState 	   66019	     17510 ns/op	       0 B/op	       0 allocs/op
 PASS
 ok  	afsysbench/internal/hmmer	48.095s
@@ -50,11 +51,33 @@ func TestRunWritesArtifact(t *testing.T) {
 	if err := json.Unmarshal(data, &art); err != nil {
 		t.Fatal(err)
 	}
-	if len(art.Entries) != 3 {
-		t.Fatalf("parsed %d entries, want 3", len(art.Entries))
+	if len(art.Entries) != 4 {
+		t.Fatalf("parsed %d entries, want 4", len(art.Entries))
 	}
-	if art.Entries[2].AllocsPerOp != 0 || art.Entries[2].NsPerOp != 17510 {
-		t.Errorf("steady-state entry: %+v", art.Entries[2])
+	if art.Entries[3].AllocsPerOp != 0 || art.Entries[3].NsPerOp != 17510 {
+		t.Errorf("steady-state entry: %+v", art.Entries[3])
+	}
+	if art.Entries[0].Variant != "reference" || art.Entries[2].Variant != "swar" ||
+		art.Entries[3].Variant != "" {
+		t.Errorf("variant labels: %q %q %q",
+			art.Entries[0].Variant, art.Entries[2].Variant, art.Entries[3].Variant)
+	}
+	if art.Env.GOOS != "linux" || art.Env.GOARCH != "amd64" ||
+		art.Env.CPU != "Intel(R) Xeon(R)" || art.Env.SWARLaneWidth != 8 {
+		t.Errorf("env block: %+v", art.Env)
+	}
+	if len(art.Speedup) != 1 {
+		t.Fatalf("speedup blocks: %+v", art.Speedup)
+	}
+	sp := art.Speedup[0]
+	if sp.Benchmark != "BenchmarkScanProtein" ||
+		sp.ReferenceNsPerOp != 44625962 || sp.SWARNsPerOp != 8552806 {
+		t.Errorf("speedup block: %+v", sp)
+	}
+	if sp.SWARVsOptimized < 1.99 || sp.SWARVsOptimized > 2.01 ||
+		sp.SWARVsReference < 5.2 || sp.SWARVsReference > 5.3 ||
+		sp.OptimizedVsReference < 2.6 || sp.OptimizedVsReference > 2.61 {
+		t.Errorf("speedup ratios: %+v", sp)
 	}
 	// The benchstat extract keeps context headers and results, drops the rest.
 	if !strings.Contains(art.Benchstat, "pkg: afsysbench/internal/hmmer") ||

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"afsysbench/internal/hmmer"
 	"afsysbench/internal/inputs"
 	"afsysbench/internal/memest"
 	"afsysbench/internal/metering"
@@ -32,6 +33,13 @@ type Suite struct {
 	Runs int
 	// Seed drives the run-to-run jitter model.
 	Seed uint64
+	// Search carries the scan-engine options for every MSA run the suite
+	// performs. NewSuite pins the paper-faithful configuration — SWAR
+	// pre-passes off — because the paper's profiles (Table IV shares,
+	// Figure 5 saturation) measure stock jackhmmer/nhmmer; arming the
+	// quantized cascade reshapes the modeled profile away from what the
+	// artifacts reproduce. Clear DisableSWAR to study the optimized engine.
+	Search hmmer.SearchOptions
 
 	mu       sync.Mutex
 	msaCache map[string]*msa.Result
@@ -55,6 +63,7 @@ func NewSuite() (*Suite, error) {
 		Model:    simgpu.DefaultModel(),
 		Runs:     5,
 		Seed:     0xAF5B,
+		Search:   hmmer.SearchOptions{DisableSWAR: true},
 		msaCache: make(map[string]*msa.Result),
 		xlaCache: make(map[int]xlaArtifacts),
 	}, nil
@@ -98,6 +107,7 @@ func (s *Suite) msaResultFor(ctx context.Context, in *inputs.Input, threads int,
 	}
 	res, err := msa.RunCtx(ctx, in, msa.Options{
 		Threads:         threads,
+		Search:          s.Search,
 		DBs:             dbs,
 		AllowMissingDB:  true,
 		Checkpoint:      ex.checkpoint,

@@ -41,6 +41,11 @@ type Profile struct {
 	// bounds the per-row score gain of any alignment path and anchors the
 	// filter cascade's provably-safe pruning ceilings.
 	maxMatch float32
+
+	// quant is the packed 8-bit emission table the SWAR pre-filters run on,
+	// derived by BuildTransposed alongside MatchT (nil when the score range
+	// cannot be quantized soundly; the scan then stays on the float path).
+	quant *quantProfile
 }
 
 // BuildTransposed (re)derives MatchT and the pruning bound from Match. The
@@ -65,6 +70,7 @@ func (p *Profile) BuildTransposed() {
 			}
 		}
 	}
+	p.quant = buildQuant(p)
 }
 
 // transposed reports whether the residue-major layout is available.

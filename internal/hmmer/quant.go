@@ -1,0 +1,176 @@
+package hmmer
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// 8-bit score quantization for the SWAR filter cascade (see DESIGN.md §11).
+//
+// The SWAR kernels run the MSV/SSV recurrences in saturating unsigned 8-bit
+// lanes, eight per uint64. They are reject-only: a window they pass re-runs
+// through the exact float32 kernels, so the quantization only has to preserve
+// one direction — the quantized running score must never fall below λ times
+// the exact running score. Every rounding choice below is made to keep that
+// invariant:
+//
+//   - emission bytes are ceil(λ·score)+B, so each add over-estimates λ·score;
+//   - the bias clamp at 0 (scores below −B/λ) under-charges a penalty;
+//   - the lane clamp at 0 matches the local-alignment restart exactly;
+//   - saturation at 255 is forced to read as a pass: thresholds are capped at
+//     255−B, so a lane that ever saturates stays at ≥ 255−B after the bias
+//     subtract and trips the pass check before it can decay.
+//
+// With the invariant r_q ≥ λ·r_exact in hand, rejecting a window because
+// every quantized cell stayed below floor(λ·(threshold − pruneMargin)) proves
+// the exact float32 scan also stays below its threshold — bit-for-bit the
+// same hit list, just cheaper misses.
+
+// quantLaneWidth is the number of packed lanes per SWAR word.
+const quantLaneWidth = 8
+
+// quantProfile is the packed 8-bit companion of a Profile's match table.
+type quantProfile struct {
+	// scale is λ: one exact score point spans λ quantization levels.
+	scale float64
+	// bias is B, added into every emission byte and subtracted (saturating at
+	// zero) after every lane add, so negative scores survive the unsigned
+	// representation.
+	bias uint8
+	// switchQ and extQ are the band pre-pass's quantized gap charges. A real
+	// gap burst that consumes g target rows costs the float kernel at least
+	// a + (g-1)·b with a = |Open+InsertPenalty| and b = |Extend+InsertPenalty|
+	// (insert-only burst; deletions only add cost), and a row-free
+	// deletion-only burst costs at least |Open|. Charging
+	// switchQ = floor(λ·min(|Open|, a-b)) per burst plus extQ = floor(λ·b)
+	// per consumed row therefore under-charges every possible burst shape,
+	// which keeps the pre-pass an upper bound.
+	switchQ uint8
+	extQ    uint8
+	// cols is the profile's match-column count M; stride is M rounded up to
+	// a whole number of lanes, with the padding bytes zero (a zero emission
+	// decays a lane, it can never grow one).
+	cols   int
+	stride int
+	// emis holds the packed emission bytes, residue-major: row r is
+	// emis[r*stride : (r+1)*stride], entry j is clamp(ceil(λ·score)+B, 0, 255).
+	emis []byte
+	// emisW is the same table viewed as little-endian packed words (stride/8
+	// per residue row), so the MSV inner loop loads a whole lane group with
+	// one bounds-check-free indexed read.
+	emisW []uint64
+	// tailMask keeps the lanes of the last word that map to real profile
+	// columns; padding lanes are cleared every row so a stale shifted-in value
+	// cannot linger past the column range.
+	tailMask uint64
+}
+
+// buildQuant derives the packed table from a transposed profile, or nil when
+// the score range cannot be represented soundly (the scan then simply stays
+// on the float32 path). The scale is chosen so the full dynamic range
+// [−nr, max(maxMatch, Mu+4)] maps into [0,255] with two levels of headroom
+// for the ceil round-ups, which guarantees no emission byte ever top-clips.
+func buildQuant(p *Profile) *quantProfile {
+	if !p.transposed() || p.M == 0 {
+		return nil
+	}
+	minScore := float64(0)
+	for _, s := range p.MatchT {
+		if float64(s) < minScore {
+			minScore = float64(s)
+		}
+	}
+	hi := p.Mu + 4 // headroom above the MSV threshold
+	if float64(p.maxMatch) > hi {
+		hi = float64(p.maxMatch)
+	}
+	nr := -minScore
+	if nr > hi {
+		nr = hi // deeper penalties clamp to 0 (under-charge, still sound)
+	}
+	scale := 253 / (nr + hi)
+	if scale <= 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+		return nil
+	}
+	bias := int(math.Ceil(scale * nr))
+	if bias > 127 {
+		// The simplified constant-subtract SWAR form needs bit 7 of the
+		// constant clear; out-of-range profiles stay on the float path.
+		return nil
+	}
+	a := float64(-(p.Open + p.InsertPenalty))
+	b := float64(-(p.Extend + p.InsertPenalty))
+	c := float64(-p.Open)
+	sw := math.Floor(scale * math.Min(c, a-b))
+	ext := math.Floor(scale * b)
+	q := &quantProfile{
+		scale:   scale,
+		bias:    uint8(bias),
+		switchQ: uint8(clampQ(sw)),
+		extQ:    uint8(clampQ(ext)),
+		cols:    p.M,
+		stride:  (p.M + quantLaneWidth - 1) &^ (quantLaneWidth - 1),
+	}
+	lastLanes := p.M - (q.stride - quantLaneWidth)
+	q.tailMask = ^uint64(0) >> (8 * (quantLaneWidth - lastLanes))
+	q.emis = make([]byte, p.K*q.stride)
+	for r := 0; r < p.K; r++ {
+		row := q.emis[r*q.stride : (r+1)*q.stride]
+		for col := 0; col < p.M; col++ {
+			// The tiny epsilon keeps Ceil from landing one level low when
+			// the float64 product rounds down across an integer boundary;
+			// over-rounding only raises the upper bound.
+			lv := bias + int(math.Ceil(scale*float64(p.MatchT[r*p.M+col])+1e-7))
+			if lv < 0 {
+				lv = 0
+			}
+			if lv > 255 {
+				// Unreachable by construction (253 + two ceils ≤ 255), but a
+				// top-clip would silently break the bound — disarm instead.
+				return nil
+			}
+			row[col] = byte(lv)
+		}
+	}
+	nw := q.stride / quantLaneWidth
+	q.emisW = make([]uint64, p.K*nw)
+	for w := range q.emisW {
+		q.emisW[w] = binary.LittleEndian.Uint64(q.emis[w*8:])
+	}
+	return q
+}
+
+// thresholdByte converts an exact-score rejection floor into a quantized
+// lane threshold for a target of length L. ok is false when the floor is too
+// low to reject anything (the pre-pass is skipped — never wrong, just idle).
+// The pruneMargin subtraction absorbs float32 drift of the exact kernels, and
+// the 255−bias cap makes saturation register as a pass (see package comment).
+func (q *quantProfile) thresholdByte(scoreFloor float32, L int) (uint8, bool) {
+	v := int(math.Floor(q.scale * (float64(scoreFloor) - float64(pruneMargin(L)))))
+	if v < 1 {
+		return 0, false
+	}
+	if limit := 255 - int(q.bias); v > limit {
+		v = limit
+	}
+	return uint8(v), true
+}
+
+// clampQ clamps a gap-charge level into [0, 127]; the upper cap keeps bit 7
+// of the charge clear as satSubConst8 requires, and clamping only lowers a
+// charge, which under-charges and stays sound.
+func clampQ(v float64) int {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 127 {
+		return 127
+	}
+	return int(v)
+}
+
+// words is the number of packed uint64 words per emission row.
+func (q *quantProfile) words() int { return q.stride / quantLaneWidth }
+
+// memoryBytes is the packed table's resident size (metering working set).
+func (q *quantProfile) memoryBytes() uint64 { return uint64(len(q.emis)) }

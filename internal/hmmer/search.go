@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
 	"sort"
+	"sync"
 
 	"afsysbench/internal/metering"
 	"afsysbench/internal/seq"
@@ -34,6 +36,11 @@ type SearchOptions struct {
 	// DisableSeedFilter forces banded DP on every target's best MSV
 	// diagonal instead of seed candidates (the "no prefilter" ablation arm).
 	DisableSeedFilter bool
+	// DisableSWAR turns off the packed 8-bit reject-only pre-filters
+	// (msvFilterSWAR, bandSSVSWAR) and runs the PR-4 float32 cascade alone.
+	// The zero value keeps SWAR on; the AFSYSBENCH_NO_SWAR environment
+	// variable forces it off process-wide (the kill switch).
+	DisableSWAR bool
 	// ReportAllDomains keeps every significant band of a target as its own
 	// hit (HMMER's per-domain envelopes) instead of deduplicating to the
 	// best band per target.
@@ -78,8 +85,18 @@ func (o SearchOptions) withDefaults(t seq.MoleculeType) SearchOptions {
 	if o.MaxDiagonals == 0 {
 		o.MaxDiagonals = 64
 	}
+	if noSWAREnv() {
+		o.DisableSWAR = true
+	}
 	return o
 }
+
+// noSWAREnv reads the process-wide SWAR kill switch once: setting
+// AFSYSBENCH_NO_SWAR (to anything non-empty) pins every search in the
+// process to the float32 cascade, no matter what options callers build.
+var noSWAREnv = sync.OnceValue(func() bool {
+	return os.Getenv("AFSYSBENCH_NO_SWAR") != ""
+})
 
 // Hit is one reported database match.
 type Hit struct {
@@ -106,7 +123,11 @@ type Result struct {
 	// CellsPruned is not the unpruned volume — MSV lanes are not DP cells —
 	// but the split shows how much scan work the cascade avoided.
 	CellsPruned uint64
-	Rounds      int
+	// LanesRejected counts float-path work units (MSV filter lanes, band DP
+	// cells) the SWAR 8-bit pre-passes proved below threshold and disposed
+	// of without running the exact kernels. Zero when SWAR is disabled.
+	LanesRejected uint64
+	Rounds        int
 	// Windows counts long-target windows scanned (nucleotide searches).
 	Windows int
 	// PeakWindowStateBytes is the largest per-target accumulated window
@@ -363,6 +384,7 @@ func MergeResults(query string, parts []*Result) *Result {
 		merged.Candidates += p.Candidates
 		merged.CellsDP += p.CellsDP
 		merged.CellsPruned += p.CellsPruned
+		merged.LanesRejected += p.LanesRejected
 		merged.Windows += p.Windows
 		if p.PeakWindowStateBytes > merged.PeakWindowStateBytes {
 			merged.PeakWindowStateBytes = p.PeakWindowStateBytes
@@ -408,6 +430,10 @@ type scanState struct {
 	// skips Forward (negInf disarms the band cutoff; see bandScoreFloor).
 	bandFloor    float32
 	msvThreshold float32
+	// swarQ is the profile's packed 8-bit table when the SWAR pre-filters
+	// are armed (transposed layout present, quantization sound, kill switch
+	// off); nil routes everything straight to the float32 cascade.
+	swarQ *quantProfile
 	// recycling marks that record pointers from the buffer are only valid
 	// until the next record; retain() then clones before a Hit keeps one.
 	recycling bool
@@ -415,6 +441,10 @@ type scanState struct {
 }
 
 func newScanState(p *Profile, query *seq.Sequence, dbResidues int, opts SearchOptions, m metering.Meter) *scanState {
+	var swarQ *quantProfile
+	if !opts.DisableSWAR && p.transposed() {
+		swarQ = p.quant
+	}
 	return &scanState{
 		p:            p,
 		query:        query,
@@ -426,6 +456,7 @@ func newScanState(p *Profile, query *seq.Sequence, dbResidues int, opts SearchOp
 		res:          &Result{Query: query.ID},
 		bandFloor:    bandScoreFloor(p, dbResidues, opts.MaxEValue*10),
 		msvThreshold: MSVThreshold(p),
+		swarQ:        swarQ,
 	}
 }
 
@@ -495,6 +526,7 @@ func (s *scanState) scanRecord(target *seq.Sequence) {
 		res.Candidates += wres.Candidates
 		res.CellsDP += wres.CellsDP
 		res.CellsPruned += wres.CellsPruned
+		res.LanesRejected += wres.LanesRejected
 		res.Hits = append(res.Hits, wres.Hits...)
 		if wres.PeakStateBytes > res.PeakWindowStateBytes {
 			res.PeakWindowStateBytes = wres.PeakStateBytes
@@ -503,6 +535,13 @@ func (s *scanState) scanRecord(target *seq.Sequence) {
 	}
 	var diags []int
 	if s.opts.DisableSeedFilter {
+		// Quantized pre-reject: when every 8-bit lane provably stays below
+		// the MSV threshold, the record is done for the cost of the packed
+		// scan and the float filter never runs.
+		if s.msvReject(target) {
+			res.LanesRejected += uint64(target.Len()) * uint64(s.p.M)
+			return
+		}
 		hit, pruned := msvFilter(s.p, target, s.ws, s.msvThreshold, s.m)
 		res.CellsPruned += pruned
 		if hit.Score >= s.msvThreshold {
@@ -514,6 +553,14 @@ func (s *scanState) scanRecord(target *seq.Sequence) {
 	}
 	for _, d := range diags {
 		res.Candidates++
+		// Quantized band pre-pass: a rejected band's score provably stays
+		// below the E-value gate's floor, so its full DP volume is skipped
+		// (counted as pruned, exactly like the float row-max cutoff).
+		if cells, rejected := s.ssvReject(target, d); rejected {
+			res.CellsPruned += cells
+			res.LanesRejected += cells
+			continue
+		}
 		ali, pruned := bandedViterbi(s.p, target, d, s.opts.HalfWidth, s.ws, s.bandFloor, s.m)
 		res.CellsDP += ali.Cells
 		res.CellsPruned += pruned
@@ -528,7 +575,7 @@ func (s *scanState) scanRecord(target *seq.Sequence) {
 		}
 		// Reported hits get a traced alignment for stacking and
 		// display (the extra DP is charged by the traceback kernel).
-		_, traced := BandedViterbiAlign(s.p, target, d, s.opts.HalfWidth, s.m)
+		_, traced := bandedViterbiAlign(s.p, target, d, s.opts.HalfWidth, s.ws, s.m)
 		kept := s.retain(target)
 		res.Hits = append(res.Hits, Hit{
 			TargetID:     kept.ID,
@@ -541,6 +588,36 @@ func (s *scanState) scanRecord(target *seq.Sequence) {
 			Alignment:    traced,
 		})
 	}
+}
+
+// msvReject runs the SWAR MSV pre-filter when it is armed and its threshold
+// can actually fire; true means the record provably has no passing diagonal.
+func (s *scanState) msvReject(target *seq.Sequence) bool {
+	if s.swarQ == nil {
+		return false
+	}
+	tq, ok := s.swarQ.thresholdByte(s.msvThreshold, target.Len())
+	if !ok {
+		return false
+	}
+	return msvFilterSWAR(s.swarQ, target, s.ws, tq, s.m)
+}
+
+// ssvReject runs the quantized band pre-pass for one candidate diagonal;
+// when it rejects, cells is the skipped float DP volume (the whole band).
+func (s *scanState) ssvReject(target *seq.Sequence, d int) (cells uint64, rejected bool) {
+	if s.swarQ == nil || s.bandFloor <= negInf/2 {
+		return 0, false
+	}
+	tq, ok := s.swarQ.thresholdByte(s.bandFloor, target.Len())
+	if !ok {
+		return 0, false
+	}
+	rej, cells := bandSSVSWAR(s.swarQ, target, d, s.opts.HalfWidth, tq, s.m)
+	if !rej {
+		return 0, false
+	}
+	return cells, true
 }
 
 // scanDB is the shared inner loop: stream records through the buffering

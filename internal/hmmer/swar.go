@@ -1,0 +1,366 @@
+package hmmer
+
+import (
+	"encoding/binary"
+
+	"afsysbench/internal/metering"
+	"afsysbench/internal/seq"
+)
+
+// SWAR (SIMD-within-a-register) filter kernels: the MSV scan and an
+// SSV-style band pre-pass run in saturating unsigned 8-bit lanes, eight per
+// uint64 — pure-Go striped vectorization in the spirit of HMMER3's Farrar
+// filters. Both kernels are reject-only: they may prove a record (or a band)
+// stays below its threshold and dispose of it for the cost of the packed
+// scan, but anything they cannot reject re-runs through the exact float32
+// kernels unchanged. Quantization and its soundness argument live in
+// quant.go and DESIGN.md §11.
+
+const (
+	// swarMSB masks bit 7 of every lane; the saturating add/sub/max forms
+	// split each byte into its low 7 bits plus this sign row.
+	swarMSB uint64 = 0x8080808080808080
+	// swarLSB replicates a byte across lanes by multiplication.
+	swarLSB uint64 = 0x0101010101010101
+)
+
+// broadcast8 fills all eight lanes with b.
+func broadcast8(b uint8) uint64 { return uint64(b) * swarLSB }
+
+// satAdd8 adds lanes pairwise, saturating at 255. The low-7-bit sums carry
+// freely inside their lanes; the MSB row is recombined by xor and the
+// per-lane carry-out (majority of the two MSBs and the incoming carry) is
+// smeared into a 0xff saturation mask.
+func satAdd8(x, y uint64) uint64 {
+	s := (x &^ swarMSB) + (y &^ swarMSB)
+	sum := s ^ ((x ^ y) & swarMSB)
+	carry := ((x & y) | ((x | y) &^ sum)) & swarMSB
+	return sum | ((carry >> 7) * 0xff)
+}
+
+// satSub8 subtracts lanes pairwise, saturating at 0. Offsetting x's MSBs
+// keeps the machine-level subtraction from borrowing across lanes; the
+// per-lane borrow-out selects which lanes clamp.
+func satSub8(x, y uint64) uint64 {
+	z := (x | swarMSB) - (y &^ swarMSB)
+	diff := z ^ (^(x ^ y) & swarMSB)
+	borrow := ((^x & y) | (^(x ^ y) & diff)) & swarMSB
+	return diff &^ ((borrow >> 7) * 0xff)
+}
+
+// satSubConst8 is satSub8 specialized for a subtrahend whose lanes all have
+// bit 7 clear (the bias and gap constants, both ≤ 127 by construction in
+// buildQuant): three of the general form's mask terms collapse.
+func satSubConst8(x, y uint64) uint64 {
+	z := (x | swarMSB) - y
+	diff := z ^ (^x & swarMSB)
+	borrow := ^x & diff & swarMSB
+	return diff &^ ((borrow >> 7) * 0xff)
+}
+
+// max8 picks the larger lane pairwise, via the satSub8 borrow mask.
+func max8(x, y uint64) uint64 {
+	z := (x | swarMSB) - (y &^ swarMSB)
+	diff := z ^ (^(x ^ y) & swarMSB)
+	lt := ((((^x & y) | (^(x ^ y) & diff)) & swarMSB) >> 7) * 0xff
+	return (x &^ lt) | (y & lt)
+}
+
+// anyGE8 reports whether any lane of x is ≥ t (t ≥ 1).
+func anyGE8(x uint64, t uint8) bool {
+	return satSub8(x, broadcast8(t-1)) != 0
+}
+
+// msvFilterSWAR runs the striped 8-bit MSV scan over the whole
+// (target × profile) matrix and returns true when every cell provably stays
+// below the quantized threshold tq — in which case the exact float32 MSV
+// scan is guaranteed to stay below its own threshold and the record can be
+// dropped without running it. A false return proves nothing (saturated or
+// near-threshold lanes land here) and the caller falls through to the exact
+// path.
+//
+// Striping: lane k of word w is profile column 8w+k. The running Kadane
+// state for row i lives at its column, so the diagonal recurrence
+// r[i][j] = max(0, r[i-1][j-1] + e) becomes one byte-shift of the whole
+// state vector (carrying the top byte across words) followed by a packed
+// saturating add of the emission row and a packed saturating bias subtract.
+// That is M bytes of hot state regardless of target length, against the
+// float path's (L+M-1) float32 lanes.
+func msvFilterSWAR(q *quantProfile, target *seq.Sequence, ws *scanWorkspace, tq uint8, m metering.Meter) bool {
+	L := target.Len()
+	nw := q.words()
+	st := ws.swarRun(nw)
+	biasB := broadcast8(q.bias)
+	// With tq ≥ 128 a passing lane always has its MSB set, so rows whose
+	// lane-OR stays below 128 skip the precise threshold scan entirely.
+	fast := tq >= 128
+	res := target.Residues
+	rejected := true
+	rowsDone := L
+scan:
+	for i := 0; i < L; i++ {
+		rowW := q.emisW[int(res[i])*nw:]
+		rowW = rowW[:nw:nw] // one bounds check per row, none per word
+		stw := st[:nw:nw]
+		carry := uint64(0)
+		rowOr := uint64(0)
+		w := 0
+		// Two words per iteration: the carry chain between them is just the
+		// loaded top bytes, so the two saturating pipelines overlap.
+		for ; w+1 < nw; w += 2 {
+			e0, e1 := rowW[w], rowW[w+1]
+			v0, v1 := stw[w], stw[w+1]
+			nc := v1 >> 56
+			v1 = v1<<8 | v0>>56
+			v0 = v0<<8 | carry
+			carry = nc
+			// satAdd8 then satSubConst8, inlined and interleaved.
+			s0 := (v0 &^ swarMSB) + (e0 &^ swarMSB)
+			s1 := (v1 &^ swarMSB) + (e1 &^ swarMSB)
+			sum0 := s0 ^ ((v0 ^ e0) & swarMSB)
+			sum1 := s1 ^ ((v1 ^ e1) & swarMSB)
+			cy0 := ((v0 & e0) | ((v0 | e0) &^ sum0)) & swarMSB
+			cy1 := ((v1 & e1) | ((v1 | e1) &^ sum1)) & swarMSB
+			v0 = sum0 | ((cy0 >> 7) * 0xff)
+			v1 = sum1 | ((cy1 >> 7) * 0xff)
+			z0 := (v0 | swarMSB) - biasB
+			z1 := (v1 | swarMSB) - biasB
+			diff0 := z0 ^ (^v0 & swarMSB)
+			diff1 := z1 ^ (^v1 & swarMSB)
+			bw0 := ^v0 & diff0 & swarMSB
+			bw1 := ^v1 & diff1 & swarMSB
+			v0 = diff0 &^ ((bw0 >> 7) * 0xff)
+			v1 = diff1 &^ ((bw1 >> 7) * 0xff)
+			stw[w] = v0
+			stw[w+1] = v1
+			rowOr |= v0 | v1
+		}
+		if w < nw {
+			e := rowW[w]
+			v := stw[w]
+			v = v<<8 | carry
+			s := (v &^ swarMSB) + (e &^ swarMSB)
+			sum := s ^ ((v ^ e) & swarMSB)
+			cy := ((v & e) | ((v | e) &^ sum)) & swarMSB
+			v = sum | ((cy >> 7) * 0xff)
+			z := (v | swarMSB) - biasB
+			diff := z ^ (^v & swarMSB)
+			bw := ^v & diff & swarMSB
+			v = diff &^ ((bw >> 7) * 0xff)
+			stw[w] = v
+			rowOr |= v
+		}
+		// Padding lanes (columns ≥ M) must not keep a shifted-in value alive.
+		st[nw-1] &= q.tailMask
+		if fast && rowOr&swarMSB == 0 {
+			continue
+		}
+		for _, v := range st {
+			if anyGE8(v, tq) {
+				rejected = false
+				rowsDone = i + 1
+				break scan
+			}
+		}
+	}
+	words := uint64(rowsDone) * uint64(nw)
+	ev := metering.Event{
+		Func: "msv_swar",
+		// ~29 ALU ops per packed word (shift+carry, saturating add,
+		// saturating bias subtract, accumulate, store); two 8-byte loads and
+		// one 8-byte store.
+		Instructions: words * 29,
+		Bytes:        words * 24,
+		WorkingSet:   uint64(nw)*8 + q.memoryBytes(),
+		Pattern:      metering.Sequential,
+		// One well-predicted gate branch per row plus the rare precise scan.
+		Branches:       uint64(rowsDone) * 2,
+		BranchMissRate: 0.001,
+	}
+	if rejected {
+		ev.LanesRejected = uint64(L) * uint64(q.cols)
+	}
+	m.Record(ev)
+	return rejected
+}
+
+// bandSSVSWAR is the 8-bit pre-pass in front of the banded Viterbi kernel:
+// a gap-undercharged upper bound over the band's fixed diagonals that may
+// prove no gapped alignment inside the band can reach the quantized floor
+// tqBand. Returns (rejected, cells): cells is the float DP volume disposed
+// of when rejected (countBandCells over the whole target), 0 otherwise.
+//
+// Each lane l is the fixed diagonal d-halfWidth+l. Per target row the lane's
+// column advances by one, so the emission vector is a sliding 8-byte window
+// of the quantized emission row — an unaligned load on the interior, byte
+// assembly at the profile edges (out-of-profile columns read as emission 0,
+// which decays a lane and never grows it).
+//
+// Recurrence: lane l carries the chain value V_l of its diagonal (resume
+// then emit, saturating, clamped at 0); a parked vector P holds the best
+// value each *column* has ever reached, decaying by extQ per consumed row;
+// columns that slide out of the band fold into a scalar trailing max T with
+// the same decay; G tracks the overall maximum (the reported bound):
+//
+//	V_l = max(V_l, resume_l) + e_l
+//	resume_l = max(T, max{P_c : c < col(l)}) - switchQ
+//
+// P is column-anchored: because lane l's column advances by one per row, P
+// shifts down one lane per row, so an exclusive prefix max over lanes is an
+// exclusive prefix max over columns. That column-strictness is the heart of
+// the bound: a real alignment consumes each profile column at most once, so
+// a resumed run may only ever chain *forward* in columns. (A resume floor
+// keyed on a row-global best — ignoring columns — lets the bound re-harvest
+// the same hot columns at every row and saturates on any realistic band.)
+//
+// Soundness: any banded alignment is a sequence of diagonal match runs
+// separated by gap bursts. A burst from column c (row r) to column c' > c
+// (row r', consuming g = r'-r-1 rows) costs the float kernel at least
+// a + (g-1)·b for g ≥ 1 (a = |Open+InsertPenalty|, b = |Extend+InsertPenalty|;
+// insertions dominate, deletions only add) and at least |Open| for a
+// row-free deletion burst. The resume path charges switchQ + g·extQ with
+// switchQ ≤ λ·min(|Open|, a-b) and extQ ≤ λ·b — an under-charge of every
+// burst shape — and P's column anchoring guarantees the resumed value really
+// came from a strictly lower column at a strictly earlier row. By induction
+// every prefix of every banded path has λ·score ≤ V of its lane, so
+// λ·(best band score) ≤ final G, and G < tqBand proves the float kernel's
+// score stays below the E-value gate's floor.
+func bandSSVSWAR(q *quantProfile, target *seq.Sequence, diagonal, halfWidth int, tqBand uint8, m metering.Meter) (bool, uint64) {
+	L := target.Len()
+	w := 2*halfWidth + 1
+	nw := (w + 7) / 8
+	if nw > 8 {
+		return false, 0 // wider bands than the fixed state covers: no reject
+	}
+	M := q.cols
+	// Only rows whose band intersects the profile columns carry cells.
+	i0, i1 := 0, L
+	if v := -(diagonal + halfWidth); v > i0 {
+		i0 = v
+	}
+	if v := M + halfWidth - diagonal; v < i1 {
+		i1 = v
+	}
+	if i0 >= i1 {
+		return false, 0 // band never overlaps the profile; nothing to prove
+	}
+	var lanesV, lanesP [8]uint64
+	biasB := broadcast8(q.bias)
+	extQB := broadcast8(q.extQ)
+	swQB := broadcast8(q.switchQ)
+	lastLanes := w - 8*(nw-1)
+	wMask := ^uint64(0) >> (8 * (8 - uint(lastLanes)))
+	res := target.Residues
+	g, trail := uint8(0), uint8(0)
+	rejected := true
+	rowsDone := 0
+
+	for i := i0; i < i1; i++ {
+		row := q.emis[int(res[i])*q.stride : int(res[i])*q.stride+q.stride]
+		lo := i + diagonal - halfWidth
+		rowsDone++
+		// Re-anchor the parked columns to this row's lanes: the lowest column
+		// slides out of the band and folds into the trailing max, the rest
+		// shift down one lane. Decay is applied at refresh time below, so a
+		// value parked at row r resumes at row r+1 undecayed — charging
+		// extQ here too would overcharge a zero-row deletion burst and break
+		// the upper bound.
+		if d := uint8(lanesP[0]); d > trail {
+			trail = d
+		}
+		for wd := 0; wd < nw; wd++ {
+			v := lanesP[wd] >> 8
+			if wd+1 < nw {
+				v |= lanesP[wd+1] << 56
+			}
+			lanesP[wd] = v
+		}
+		trailB := broadcast8(trail)
+		carryFeed := trail // lane 0's lower-column max entering each word
+		var hm uint64
+		for wd := 0; wd < nw; wd++ {
+			off := lo + wd*8
+			var e uint64
+			switch {
+			case off >= 0 && off+8 <= q.stride:
+				e = binary.LittleEndian.Uint64(row[off:])
+			case off+8 <= 0 || off >= M:
+				// fully outside the profile: emission stays 0
+			default:
+				for k := 0; k < 8; k++ {
+					if c := off + k; c >= 0 && c < M {
+						e |= uint64(row[c]) << (8 * uint(k))
+					}
+				}
+			}
+			// Exclusive prefix max over lower columns: log-step inclusive
+			// prefix within the word, then shift one lane up, feeding the
+			// carry byte from the words below.
+			p := lanesP[wd]
+			pm := max8(p, p<<8)
+			pm = max8(pm, pm<<16)
+			pm = max8(pm, pm<<32)
+			// The carry byte is the running max over every lane of the lower
+			// words; it must reach all lanes here, not just lane 0 — a resume
+			// may jump from any lower column, across word boundaries.
+			pmExcl := max8(pm<<8, broadcast8(carryFeed))
+			nf := uint8(pm >> 56)
+			if carryFeed > nf {
+				nf = carryFeed
+			}
+			carryFeed = nf
+			resume := satSubConst8(max8(pmExcl, trailB), swQB)
+			v := max8(lanesV[wd], resume)
+			v = satAdd8(v, e)
+			v = satSubConst8(v, biasB)
+			if wd == nw-1 {
+				v &= wMask // lanes beyond the band width stay dead
+			}
+			lanesV[wd] = v
+			// Older parked values pay this row's insert rent; the fresh value
+			// enters undecayed.
+			lanesP[wd] = max8(satSubConst8(p, extQB), v)
+			hm = max8(hm, v)
+		}
+		if trail > q.extQ {
+			trail -= q.extQ
+		} else {
+			trail = 0
+		}
+		// Horizontal lane max, log-step (shifted-in zeros never win).
+		hm = max8(hm, hm>>32)
+		hm = max8(hm, hm>>16)
+		hm = max8(hm, hm>>8)
+		if b := uint8(hm); b > g {
+			g = b
+			if g >= tqBand {
+				// Already unrejectable (includes every saturated lane,
+				// which holds ≥ 255-bias ≥ tqBand): stop scanning.
+				rejected = false
+				break
+			}
+		}
+	}
+
+	words := uint64(rowsDone) * uint64(nw)
+	ev := metering.Event{
+		Func: "ssv_band",
+		// ~95 ALU ops per packed word (parked shift/decay, prefix max,
+		// resume, saturating add/sub, refresh) plus ~45 per row of scalar
+		// bookkeeping and the horizontal max.
+		Instructions: words*95 + uint64(rowsDone)*45,
+		Bytes:        words * 8,
+		WorkingSet:   uint64(nw)*16 + q.memoryBytes(),
+		Pattern:      metering.Strided,
+		Branches:     words + uint64(rowsDone),
+		// The edge-vs-interior load switch mispredicts only at band ends.
+		BranchMissRate: 0.002,
+	}
+	var cells uint64
+	if rejected {
+		cells = countBandCells(0, L, diagonal, halfWidth, M)
+		ev.LanesRejected = cells
+	}
+	m.Record(ev)
+	return rejected, cells
+}

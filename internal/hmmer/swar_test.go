@@ -1,0 +1,501 @@
+package hmmer
+
+import (
+	"math"
+	"testing"
+
+	"afsysbench/internal/metering"
+	"afsysbench/internal/rng"
+	"afsysbench/internal/seq"
+	"afsysbench/internal/seqdb"
+)
+
+// SWAR correctness suite: the packed lane primitives against scalar uint8
+// models, the quantization soundness bound, and the reject-only contract of
+// both 8-bit pre-passes against the exact float kernels. These are the
+// guardrails that keep the SWAR cascade a pure performance change — a reject
+// must never remove a window the float path would have accepted.
+
+func satAddModel(x, y uint8) uint8 {
+	s := int(x) + int(y)
+	if s > 255 {
+		return 255
+	}
+	return uint8(s)
+}
+
+func satSubModel(x, y uint8) uint8 {
+	d := int(x) - int(y)
+	if d < 0 {
+		return 0
+	}
+	return uint8(d)
+}
+
+func maxModel(x, y uint8) uint8 {
+	if x > y {
+		return x
+	}
+	return y
+}
+
+func lane(v uint64, k int) uint8 { return uint8(v >> (8 * uint(k))) }
+
+func checkLaneOps(t *testing.T, x, y uint64, c uint8) {
+	t.Helper()
+	c &= 0x7f // const-form subtrahends have bit 7 clear by construction
+	cb := broadcast8(c)
+	add, sub, subC, mx := satAdd8(x, y), satSub8(x, y), satSubConst8(x, cb), max8(x, y)
+	anyT := c | 1
+	any := anyGE8(x, anyT)
+	wantAny := false
+	for k := 0; k < 8; k++ {
+		xa, yb := lane(x, k), lane(y, k)
+		if got, want := lane(add, k), satAddModel(xa, yb); got != want {
+			t.Fatalf("satAdd8 lane %d of %#x+%#x: got %d want %d", k, x, y, got, want)
+		}
+		if got, want := lane(sub, k), satSubModel(xa, yb); got != want {
+			t.Fatalf("satSub8 lane %d of %#x-%#x: got %d want %d", k, x, y, got, want)
+		}
+		if got, want := lane(subC, k), satSubModel(xa, c); got != want {
+			t.Fatalf("satSubConst8 lane %d of %#x-%d: got %d want %d", k, x, c, got, want)
+		}
+		if got, want := lane(mx, k), maxModel(xa, yb); got != want {
+			t.Fatalf("max8 lane %d of %#x,%#x: got %d want %d", k, x, y, got, want)
+		}
+		if xa >= anyT {
+			wantAny = true
+		}
+	}
+	if any != wantAny {
+		t.Fatalf("anyGE8(%#x, %d): got %v want %v", x, anyT, any, wantAny)
+	}
+	if b := broadcast8(c); lane(b, 0) != c || lane(b, 7) != c || lane(b, 3) != c {
+		t.Fatalf("broadcast8(%d) = %#x", c, b)
+	}
+}
+
+// FuzzSWARLaneOps checks every packed primitive lane-by-lane against the
+// scalar saturating-uint8 models on fuzzer-chosen words.
+func FuzzSWARLaneOps(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint8(0))
+	f.Add(^uint64(0), ^uint64(0), uint8(127))
+	f.Add(uint64(0x80FF7F0180FF7F01), uint64(0x017F80FF017F80FF), uint8(6))
+	f.Add(uint64(0x0102030405060708), uint64(0xF0E0D0C0B0A09080), uint8(64))
+	f.Add(swarMSB, swarLSB, uint8(1))
+	f.Fuzz(func(t *testing.T, x, y uint64, c uint8) {
+		checkLaneOps(t, x, y, c)
+	})
+}
+
+// TestSWARLaneOpsDirected covers the carry/borrow corner cases (lane values
+// straddling 0x80, exact saturation boundaries) deterministically, plus a
+// pseudo-random sweep, so `go test` alone exercises the primitives even when
+// the fuzz corpus is absent.
+func TestSWARLaneOpsDirected(t *testing.T) {
+	edge := []uint8{0, 1, 0x7e, 0x7f, 0x80, 0x81, 0xfe, 0xff}
+	for _, a := range edge {
+		for _, b := range edge {
+			x := broadcast8(a) ^ 0x00FF7F8001000000 // perturb some lanes
+			y := broadcast8(b) ^ 0x80017F0000FF0000
+			checkLaneOps(t, x, y, b)
+		}
+	}
+	r := rng.New(97)
+	for i := 0; i < 2000; i++ {
+		checkLaneOps(t, r.Uint64(), r.Uint64(), uint8(r.Uint64()))
+	}
+}
+
+// TestQuantEmissionBound pins the quantization soundness invariant: for
+// every residue r and column j, emis[r][j] ≥ scale·score(r,j) + bias — with
+// ceil rounding and bottom-clamping both landing on the ≥ side — so any
+// quantized run dominates λ·(the exact run). Also pins the structural
+// invariants the kernels rely on: bias and gapQ fit in 7 bits, gapQ
+// under-charges λ·|gapOpen|, padding columns are zero, and tailMask covers
+// exactly the real lanes of the last word.
+func TestQuantEmissionBound(t *testing.T) {
+	for _, mt := range []seq.MoleculeType{seq.Protein, seq.RNA} {
+		g := seq.NewGenerator(rng.New(53))
+		for pi, p := range fuzzProfiles(t, g, mt) {
+			q := p.quant
+			if q == nil {
+				t.Fatalf("%v profile %d: no quantization", mt, pi)
+			}
+			if q.bias > 127 {
+				t.Fatalf("%v profile %d: bias %d exceeds 7 bits", mt, pi, q.bias)
+			}
+			a := float64(-(p.Open + p.InsertPenalty))
+			b := float64(-(p.Extend + p.InsertPenalty))
+			c := float64(-p.Open)
+			if float64(q.switchQ) > q.scale*math.Min(c, a-b) {
+				t.Fatalf("%v profile %d: switchQ %d over-charges λ·min(|open|, a-b) = %v",
+					mt, pi, q.switchQ, q.scale*math.Min(c, a-b))
+			}
+			if float64(q.extQ) > q.scale*b {
+				t.Fatalf("%v profile %d: extQ %d over-charges λ·b = %v",
+					mt, pi, q.extQ, q.scale*b)
+			}
+			for r := 0; r < p.K; r++ {
+				row := q.emis[r*q.stride : (r+1)*q.stride]
+				for j := 0; j < q.stride; j++ {
+					if j >= p.M {
+						if row[j] != 0 {
+							t.Fatalf("%v profile %d: padding emis[%d][%d] = %d", mt, pi, r, j, row[j])
+						}
+						continue
+					}
+					sc := float64(p.MatchT[r*p.M+j])
+					if float64(row[j]) < q.scale*sc+float64(q.bias) {
+						t.Fatalf("%v profile %d: emis[%d][%d] = %d below λ·%v+%d",
+							mt, pi, r, j, row[j], sc, q.bias)
+					}
+				}
+			}
+			lastLanes := p.M - 8*(q.words()-1)
+			wantMask := ^uint64(0) >> (8 * (8 - uint(lastLanes)))
+			if q.tailMask != wantMask {
+				t.Fatalf("%v profile %d: tailMask %#x want %#x", mt, pi, q.tailMask, wantMask)
+			}
+		}
+	}
+}
+
+// fuzzScanInputs decodes fuzzer bytes into a (profile, target) pair. Some
+// targets are mutated homologs so the near-threshold region is exercised,
+// not just deep decoys.
+func fuzzScanInputs(t *testing.T, seed uint64, qSel, tSel, kind uint8, mtSel bool) (*Profile, *seq.Sequence) {
+	t.Helper()
+	mt := seq.Protein
+	if mtSel {
+		mt = seq.RNA
+	}
+	g := seq.NewGenerator(rng.New(seed))
+	query := g.Random("q", mt, 8+int(qSel)%140)
+	p, err := BuildFromQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *seq.Sequence
+	switch kind % 3 {
+	case 0:
+		target = g.Random("t", mt, 8+int(tSel))
+	case 1:
+		target = g.Mutate(query, "h", 0.15+float64(tSel)/512)
+	default:
+		target = g.Mutate(query, "h", 0.6)
+	}
+	return p, target
+}
+
+// FuzzSWARMSVRejectSound is the SWAR-vs-reference property: whenever the
+// packed MSV scan rejects at the quantized threshold derived from a floor,
+// the exact float MSV score is strictly below that floor — at the production
+// threshold and at artificially lowered floors that push the scan into the
+// reject/pass boundary.
+func FuzzSWARMSVRejectSound(f *testing.F) {
+	f.Add(uint64(1), uint8(80), uint8(120), uint8(0), false)
+	f.Add(uint64(7), uint8(140), uint8(40), uint8(1), true)
+	f.Add(uint64(99), uint8(20), uint8(250), uint8(2), false)
+	f.Fuzz(func(t *testing.T, seed uint64, qSel, tSel, kind uint8, mtSel bool) {
+		p, target := fuzzScanInputs(t, seed, qSel, tSel, kind, mtSel)
+		if p.quant == nil {
+			t.Skip("profile not quantizable")
+		}
+		ws := takeScanWorkspace()
+		defer releaseScanWorkspace(ws)
+		base := MSVThreshold(p)
+		for _, floor := range []float32{base, base * 0.75, base * 0.5, base * 0.25} {
+			tq, ok := p.quant.thresholdByte(floor, target.Len())
+			if !ok {
+				continue
+			}
+			if msvFilterSWAR(p.quant, target, ws, tq, metering.Nop{}) {
+				ref := referenceMSVFilter(p, target, metering.Nop{})
+				if ref.Score >= floor {
+					t.Fatalf("SWAR MSV rejected but reference score %v ≥ floor %v (tq=%d, L=%d, M=%d)",
+						ref.Score, floor, tq, target.Len(), p.M)
+				}
+			}
+		}
+	})
+}
+
+// FuzzSWARBandRejectSound is the same property for the band pre-pass:
+// whenever bandSSVSWAR rejects a diagonal band, the exact banded Viterbi
+// score inside that band is strictly below the floor the threshold byte was
+// derived from.
+func FuzzSWARBandRejectSound(f *testing.F) {
+	f.Add(uint64(3), uint8(90), uint8(130), uint8(1), false, int16(0))
+	f.Add(uint64(11), uint8(60), uint8(200), uint8(0), true, int16(-20))
+	f.Add(uint64(29), uint8(120), uint8(80), uint8(2), false, int16(55))
+	f.Fuzz(func(t *testing.T, seed uint64, qSel, tSel, kind uint8, mtSel bool, dSel int16) {
+		p, target := fuzzScanInputs(t, seed, qSel, tSel, kind, mtSel)
+		if p.quant == nil {
+			t.Skip("profile not quantizable")
+		}
+		d := int(dSel) % (p.M + target.Len())
+		d -= target.Len() / 2
+		base := MSVThreshold(p)
+		for _, floor := range []float32{base + 5, base, base * 0.6, base * 0.3} {
+			tq, ok := p.quant.thresholdByte(floor, target.Len())
+			if !ok {
+				continue
+			}
+			rej, cells := bandSSVSWAR(p.quant, target, d, BandHalfWidth, tq, metering.Nop{})
+			if !rej {
+				continue
+			}
+			if cells == 0 {
+				t.Fatalf("band reject reported zero cells (d=%d)", d)
+			}
+			ref := referenceBandedViterbi(p, target, d, BandHalfWidth, metering.Nop{})
+			if ref.Score >= floor {
+				t.Fatalf("SWAR band rejected but reference score %v ≥ floor %v (tq=%d, d=%d, L=%d, M=%d)",
+					ref.Score, floor, tq, d, target.Len(), p.M)
+			}
+		}
+	})
+}
+
+// TestSWARRejectSoundDirected runs the two reject-soundness properties over
+// a deterministic input sweep so plain `go test` covers them without a fuzz
+// corpus.
+func TestSWARRejectSoundDirected(t *testing.T) {
+	r := rng.New(61)
+	for i := 0; i < 60; i++ {
+		seed := r.Uint64()
+		qSel, tSel, kind := uint8(r.Uint64()), uint8(r.Uint64()), uint8(i)
+		mtSel := i%2 == 0
+		p, target := fuzzScanInputs(t, seed, qSel, tSel, kind, mtSel)
+		if p.quant == nil {
+			continue
+		}
+		ws := takeScanWorkspace()
+		base := MSVThreshold(p)
+		for _, floor := range []float32{base, base * 0.5} {
+			if tq, ok := p.quant.thresholdByte(floor, target.Len()); ok {
+				if msvFilterSWAR(p.quant, target, ws, tq, metering.Nop{}) {
+					if ref := referenceMSVFilter(p, target, metering.Nop{}); ref.Score >= floor {
+						t.Fatalf("case %d: MSV reject unsound: %v ≥ %v", i, ref.Score, floor)
+					}
+				}
+				for _, d := range []int{0, -7, p.M / 3, p.M - 1} {
+					if rej, _ := bandSSVSWAR(p.quant, target, d, BandHalfWidth, tq, metering.Nop{}); rej {
+						if ref := referenceBandedViterbi(p, target, d, BandHalfWidth, metering.Nop{}); ref.Score >= floor {
+							t.Fatalf("case %d: band reject unsound at d=%d: %v ≥ %v", i, d, ref.Score, floor)
+						}
+					}
+				}
+			}
+		}
+		releaseScanWorkspace(ws)
+	}
+}
+
+// TestSWARScanSmoke is the `make check` gate for the SWAR cascade: on a tiny
+// database the SWAR-enabled scan must produce a bitwise-identical hit list
+// to both the SWAR-disabled scan and the reference (MatchT-stripped) scan,
+// while actually rejecting work (nonzero LanesRejected). Covers both the
+// MSV path and the seeded band path, and both alphabets.
+func TestSWARScanSmoke(t *testing.T) {
+	cases := []struct {
+		name string
+		mt   seq.MoleculeType
+		opts SearchOptions
+	}{
+		{"protein-msv", seq.Protein, SearchOptions{DisableSeedFilter: true}},
+		{"protein-seeded", seq.Protein, SearchOptions{}},
+		{"rna-msv", seq.RNA, SearchOptions{DisableSeedFilter: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := seq.NewGenerator(rng.New(71))
+			query := g.Random("query", tc.mt, 110)
+			db := makeDB(t, seqdb.Spec{
+				Name: "swar", Type: tc.mt, NumSeqs: 60, MeanLen: 140,
+				Homologs: []*seq.Sequence{query}, HomologsPerQuery: 5, Seed: 72,
+			})
+			p := BuildMust(t, query)
+			src := func() *SliceSource { return &SliceSource{Seqs: db.Seqs} }
+
+			on, err := ScanRecords(p, query, src(), db.TotalResidues(), tc.opts, metering.Nop{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			offOpts := tc.opts
+			offOpts.DisableSWAR = true
+			off, err := ScanRecords(p, query, src(), db.TotalResidues(), offOpts, metering.Nop{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stripped := *p
+			stripped.MatchT = nil
+			ref, err := ScanRecords(&stripped, query, src(), db.TotalResidues(), tc.opts, metering.Nop{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(on.Hits) == 0 {
+				t.Fatal("no hits; smoke test is vacuous")
+			}
+			if !sameHits(on.Hits, off.Hits) || !sameHits(on.Hits, ref.Hits) {
+				t.Fatalf("SWAR scan hit list diverges:\non=%+v\noff=%+v\nref=%+v", on.Hits, off.Hits, ref.Hits)
+			}
+			if on.Candidates != off.Candidates || on.Scanned != off.Scanned {
+				t.Fatalf("scan stats diverge: on cand=%d/scanned=%d, off cand=%d/scanned=%d",
+					on.Candidates, on.Scanned, off.Candidates, off.Scanned)
+			}
+			if on.LanesRejected == 0 {
+				t.Fatal("SWAR scan rejected nothing; pre-pass is not firing")
+			}
+			if off.LanesRejected != 0 {
+				t.Fatalf("DisableSWAR scan still rejected %d lanes", off.LanesRejected)
+			}
+			if ref.LanesRejected != 0 {
+				t.Fatalf("reference (untransposed) scan rejected %d lanes", ref.LanesRejected)
+			}
+
+			// The rejected-lane count, like every other counter, must be
+			// identical at every worker count.
+			for _, workers := range []int{1, 2, 3, 7} {
+				parts := make([]*Result, workers)
+				per := (len(db.Seqs) + workers - 1) / workers
+				for w := 0; w < workers; w++ {
+					lo, hi := w*per, (w+1)*per
+					if hi > len(db.Seqs) {
+						hi = len(db.Seqs)
+					}
+					if lo >= hi {
+						continue
+					}
+					parts[w], err = ScanRecords(p, query, &SliceSource{Seqs: db.Seqs[lo:hi]}, db.TotalResidues(), tc.opts, metering.Nop{})
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				merged := MergeResults(query.ID, parts)
+				if !sameHits(merged.Hits, on.Hits) {
+					t.Fatalf("workers=%d: merged hits diverge", workers)
+				}
+				if merged.LanesRejected != on.LanesRejected || merged.CellsPruned != on.CellsPruned {
+					t.Fatalf("workers=%d: counters diverge: lanes %d vs %d, pruned %d vs %d",
+						workers, merged.LanesRejected, on.LanesRejected, merged.CellsPruned, on.CellsPruned)
+				}
+			}
+		})
+	}
+}
+
+// TestSWARKillSwitch pins the kill-switch contract: DisableSWAR leaves no
+// SWAR machinery armed (scan state carries no quantized profile) and the
+// metering stream contains no SWAR events, so the disabled path is exactly
+// the pre-SWAR cascade.
+func TestSWARKillSwitch(t *testing.T) {
+	g := seq.NewGenerator(rng.New(79))
+	query := g.Random("query", seq.Protein, 90)
+	db := makeDB(t, seqdb.Spec{
+		Name: "kill", Type: seq.Protein, NumSeqs: 30, MeanLen: 120,
+		Homologs: []*seq.Sequence{query}, HomologsPerQuery: 3, Seed: 80,
+	})
+	p := BuildMust(t, query)
+
+	st := newScanState(p, query, db.TotalResidues(), SearchOptions{DisableSWAR: true}, metering.Nop{})
+	if st.swarQ != nil {
+		t.Fatal("DisableSWAR left the quantized profile armed")
+	}
+	releaseScanWorkspace(st.ws)
+	if st = newScanState(p, query, db.TotalResidues(), SearchOptions{}, metering.Nop{}); st.swarQ == nil {
+		t.Fatal("default options did not arm SWAR on a transposed profile")
+	}
+	releaseScanWorkspace(st.ws)
+
+	var acc metering.Accumulator
+	if _, err := ScanRecords(p, query, &SliceSource{Seqs: db.Seqs}, db.TotalResidues(),
+		SearchOptions{DisableSeedFilter: true, DisableSWAR: true}, &acc); err != nil {
+		t.Fatal(err)
+	}
+	byFunc := acc.ByFunc()
+	for _, fn := range []string{"msv_swar", "ssv_band"} {
+		if _, ok := byFunc[fn]; ok {
+			t.Fatalf("DisableSWAR scan still emitted %s events", fn)
+		}
+	}
+	if tot := acc.Totals(); tot.LanesRejected != 0 {
+		t.Fatalf("DisableSWAR scan metered %d rejected lanes", tot.LanesRejected)
+	}
+}
+
+// TestSWARMeteringAttribution checks that the SWAR events carry the rejected
+// work in Event.LanesRejected and that the scan Result surfaces the same
+// totals, so simhw attribution can separate SWAR rejections from float-path
+// pruning.
+func TestSWARMeteringAttribution(t *testing.T) {
+	g := seq.NewGenerator(rng.New(83))
+	query := g.Random("query", seq.Protein, 100)
+	db := makeDB(t, seqdb.Spec{
+		Name: "attr", Type: seq.Protein, NumSeqs: 50, MeanLen: 130,
+		Homologs: []*seq.Sequence{query}, HomologsPerQuery: 4, Seed: 84,
+	})
+	p := BuildMust(t, query)
+
+	var acc metering.Accumulator
+	res, err := ScanRecords(p, query, &SliceSource{Seqs: db.Seqs}, db.TotalResidues(),
+		SearchOptions{DisableSeedFilter: true}, &acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFunc := acc.ByFunc()
+	msv, ok := byFunc["msv_swar"]
+	if !ok {
+		t.Fatal("no msv_swar events metered")
+	}
+	if msv.LanesRejected == 0 {
+		t.Fatal("msv_swar events carry no rejected lanes")
+	}
+	var swarTotal uint64
+	for _, fn := range []string{"msv_swar", "ssv_band"} {
+		swarTotal += byFunc[fn].LanesRejected
+	}
+	if swarTotal != res.LanesRejected {
+		t.Fatalf("metered rejected lanes %d != scan result %d", swarTotal, res.LanesRejected)
+	}
+	if tot := acc.Totals(); tot.LanesRejected != swarTotal {
+		t.Fatalf("Totals().LanesRejected = %d, want %d", tot.LanesRejected, swarTotal)
+	}
+}
+
+// TestThresholdByteMonotone pins thresholdByte's contract: a higher floor
+// never yields a lower byte, the byte stays in [1, 255-bias], and a floor at
+// or below the margin disarms.
+func TestThresholdByteMonotone(t *testing.T) {
+	g := seq.NewGenerator(rng.New(89))
+	p := BuildMust(t, g.Random("q", seq.Protein, 80))
+	q := p.quant
+	if q == nil {
+		t.Fatal("no quantization")
+	}
+	prev := uint8(0)
+	for _, floor := range []float32{0.5, 2, 5, 10, 20, 30, 50, 200, 1e6} {
+		tq, ok := q.thresholdByte(floor, 200)
+		if !ok {
+			if floor > 5 {
+				t.Fatalf("floor %v unexpectedly disarmed", floor)
+			}
+			continue
+		}
+		if tq < 1 || int(tq) > 255-int(q.bias) {
+			t.Fatalf("floor %v: byte %d out of range [1, %d]", floor, tq, 255-int(q.bias))
+		}
+		if tq < prev {
+			t.Fatalf("floor %v: byte %d below previous %d (not monotone)", floor, tq, prev)
+		}
+		prev = tq
+	}
+	if _, ok := q.thresholdByte(negInf, 100); ok {
+		t.Fatal("-inf floor produced a threshold byte")
+	}
+	if _, ok := q.thresholdByte(float32(math.Inf(-1)), 100); ok {
+		t.Fatal("-Inf floor produced a threshold byte")
+	}
+}

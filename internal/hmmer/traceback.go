@@ -97,38 +97,45 @@ const (
 // the best-scoring cell. It costs roughly the plain kernel plus the pointer
 // writes, which the metering events include.
 func BandedViterbiAlign(p *Profile, target *seq.Sequence, diagonal, halfWidth int, m metering.Meter) (AlignResult, *Alignment) {
+	ws := takeScanWorkspace()
+	res, ali := bandedViterbiAlign(p, target, diagonal, halfWidth, ws, m)
+	releaseScanWorkspace(ws)
+	return res, ali
+}
+
+// bandedViterbiAlign is the workspace-backed traceback kernel. The full
+// per-row score and pointer history lives in two flat pooled planes (one
+// float32 backing array for M/I/D scores, one byte array for the pointers)
+// instead of 6·L per-row slices — the allocation behavior that used to
+// dominate allocs/op on hit-dense nucleotide scans. Only the returned
+// Alignment (retained by the Hit) is freshly allocated.
+func bandedViterbiAlign(p *Profile, target *seq.Sequence, diagonal, halfWidth int, ws *scanWorkspace, m metering.Meter) (AlignResult, *Alignment) {
 	if m == nil {
 		m = metering.Nop{}
 	}
 	L := target.Len()
 	w := 2*halfWidth + 1
 
-	// Full per-row state and pointer storage (traceback needs history).
-	mSc := make([][]float32, L)
-	iSc := make([][]float32, L)
-	dSc := make([][]float32, L)
-	mPtr := make([][]byte, L)
-	iPtr := make([][]byte, L) // true = extend (from I), false = open (from M)
-	dPtr := make([][]byte, L)
+	// Flat score/pointer planes, indexed [i*w+b]; the kernel writes every
+	// cell of every row it visits, so recycled buffers need no clearing.
+	sc, ptrs := ws.tracebackBufs(L * w)
+	n := L * w
+	mSc, iSc, dSc := sc[:n], sc[n:2*n], sc[2*n:3*n]
+	mPtr, iPtr, dPtr := ptrs[:n], ptrs[n:2*n], ptrs[2*n:3*n]
 
 	res := AlignResult{Score: 0}
 	var cellsEven, cellsOdd uint64
 	bestRow, bestBand := -1, -1
 
 	for i := 0; i < L; i++ {
-		mSc[i] = make([]float32, w)
-		iSc[i] = make([]float32, w)
-		dSc[i] = make([]float32, w)
-		mPtr[i] = make([]byte, w)
-		iPtr[i] = make([]byte, w)
-		dPtr[i] = make([]byte, w)
 		r := int(target.Residues[i])
 		lo := i + diagonal - halfWidth
+		row := i * w
 		var cells uint64
 		for b := 0; b < w; b++ {
 			j := lo + b
 			if j < 0 || j >= p.M {
-				mSc[i][b], iSc[i][b], dSc[i][b] = negInf, negInf, negInf
+				mSc[row+b], iSc[row+b], dSc[row+b] = negInf, negInf, negInf
 				continue
 			}
 			cells++
@@ -136,15 +143,15 @@ func BandedViterbiAlign(p *Profile, target *seq.Sequence, diagonal, halfWidth in
 			// is slot b, column j is slot b+1 (see calcBandRow).
 			diagM, diagI, diagD := negInf, negInf, negInf
 			if i > 0 {
-				diagM, diagI, diagD = mSc[i-1][b], iSc[i-1][b], dSc[i-1][b]
+				diagM, diagI, diagD = mSc[row-w+b], iSc[row-w+b], dSc[row-w+b]
 			}
 			upM, upI := negInf, negInf
 			if i > 0 && b+1 < w {
-				upM, upI = mSc[i-1][b+1], iSc[i-1][b+1]
+				upM, upI = mSc[row-w+b+1], iSc[row-w+b+1]
 			}
 			leftM, leftD := negInf, negInf
 			if b > 0 {
-				leftM, leftD = mSc[i][b-1], dSc[i][b-1]
+				leftM, leftD = mSc[row+b-1], dSc[row+b-1]
 			}
 
 			best, ptr := float32(0), ptrNone
@@ -157,26 +164,26 @@ func BandedViterbiAlign(p *Profile, target *seq.Sequence, diagonal, halfWidth in
 			if diagD > best {
 				best, ptr = diagD, ptrD
 			}
-			mSc[i][b] = best + p.Match[j*p.K+r]
-			mPtr[i][b] = ptr
+			mSc[row+b] = best + p.Match[j*p.K+r]
+			mPtr[row+b] = ptr
 
 			if upM+p.Open >= upI+p.Extend {
-				iSc[i][b] = upM + p.Open + p.InsertPenalty
-				iPtr[i][b] = ptrM
+				iSc[row+b] = upM + p.Open + p.InsertPenalty
+				iPtr[row+b] = ptrM
 			} else {
-				iSc[i][b] = upI + p.Extend + p.InsertPenalty
-				iPtr[i][b] = ptrI
+				iSc[row+b] = upI + p.Extend + p.InsertPenalty
+				iPtr[row+b] = ptrI
 			}
 			if leftM+p.Open >= leftD+p.Extend {
-				dSc[i][b] = leftM + p.Open
-				dPtr[i][b] = ptrM
+				dSc[row+b] = leftM + p.Open
+				dPtr[row+b] = ptrM
 			} else {
-				dSc[i][b] = leftD + p.Extend
-				dPtr[i][b] = ptrD
+				dSc[row+b] = leftD + p.Extend
+				dPtr[row+b] = ptrD
 			}
 
-			if mSc[i][b] > res.Score {
-				res.Score = mSc[i][b]
+			if mSc[row+b] > res.Score {
+				res.Score = mSc[row+b]
 				res.EndCol = j
 				res.EndRow = i
 				bestRow, bestBand = i, b
@@ -190,7 +197,7 @@ func BandedViterbiAlign(p *Profile, target *seq.Sequence, diagonal, halfWidth in
 	}
 	res.Cells = cellsEven + cellsOdd
 
-	ws := uint64(6*w)*4*uint64(minInt(L, 64)) + p.MemoryBytes() + uint64(L)
+	wsBytes := uint64(6*w)*4*uint64(minInt(L, 64)) + p.MemoryBytes() + uint64(L)
 	record := func(fn string, cells uint64) {
 		if cells == 0 {
 			return
@@ -199,7 +206,7 @@ func BandedViterbiAlign(p *Profile, target *seq.Sequence, diagonal, halfWidth in
 			Func:           fn,
 			Instructions:   cells * 17, // recurrence + pointer writes
 			Bytes:          cells * 68,
-			WorkingSet:     ws,
+			WorkingSet:     wsBytes,
 			Pattern:        metering.Strided,
 			Branches:       cells * 5,
 			BranchMissRate: 0.004,
@@ -223,7 +230,7 @@ func BandedViterbiAlign(p *Profile, target *seq.Sequence, diagonal, halfWidth in
 		switch state {
 		case ptrM:
 			rev = append(rev, AlignedPair{Op: OpMatch, Col: j, Pos: i})
-			prev := mPtr[i][b]
+			prev := mPtr[i*w+b]
 			if prev == ptrNone {
 				i = -1 // local start
 				break
@@ -233,13 +240,13 @@ func BandedViterbiAlign(p *Profile, target *seq.Sequence, diagonal, halfWidth in
 			i--
 		case ptrI:
 			rev = append(rev, AlignedPair{Op: OpInsert, Col: -1, Pos: i})
-			state = iPtr[i][b]
+			state = iPtr[i*w+b]
 			// Vertical move: previous row, column j = slot b+1 there.
 			i--
 			b++
 		case ptrD:
 			rev = append(rev, AlignedPair{Op: OpDelete, Col: j, Pos: -1})
-			state = dPtr[i][b]
+			state = dPtr[i*w+b]
 			// Horizontal move: same row, slot b-1.
 			b--
 		}

@@ -46,6 +46,7 @@ type WindowScanResult struct {
 	Candidates     int
 	CellsDP        uint64
 	CellsPruned    uint64
+	LanesRejected  uint64
 }
 
 // scanLongTarget runs the windowed nucleotide scan of a single target. Each
@@ -78,6 +79,11 @@ func (s *scanState) scanLongTarget(target *seq.Sequence) WindowScanResult {
 
 		for _, d := range diags {
 			out.Candidates++
+			if cells, rejected := s.ssvReject(window, d); rejected {
+				out.CellsPruned += cells
+				out.LanesRejected += cells
+				continue
+			}
 			ali, pruned := bandedViterbi(s.p, window, d, s.opts.HalfWidth, s.ws, s.bandFloor, s.m)
 			out.CellsDP += ali.Cells
 			out.CellsPruned += pruned
@@ -90,7 +96,7 @@ func (s *scanState) scanLongTarget(target *seq.Sequence) WindowScanResult {
 			if fev > s.opts.MaxEValue {
 				continue
 			}
-			_, traced := BandedViterbiAlign(s.p, window, d, s.opts.HalfWidth, s.m)
+			_, traced := bandedViterbiAlign(s.p, window, d, s.opts.HalfWidth, s.ws, s.m)
 			// Map window-relative positions back to the whole target.
 			if traced != nil {
 				for pi := range traced.Pairs {

@@ -16,8 +16,11 @@ import (
 // monotonically to the largest record seen.
 type scanWorkspace struct {
 	run        []float32 // MSV Kadane state, one slot per diagonal
+	swar       []uint64  // packed 8-bit MSV state, one lane per profile column
 	rowA, rowB dpRows    // banded Viterbi row pair
 	fwdA, fwdB []float64 // Forward row pair
+	tbSc       []float32 // traceback score planes (M/I/D), flattened L×w
+	tbPtr      []byte    // traceback pointer planes (M/I/D), flattened L×w
 	votes      map[int]int
 	diags      []int
 	seen       map[string]bool
@@ -49,6 +52,33 @@ func (ws *scanWorkspace) msvRun(n int) []float32 {
 		run[i] = 0
 	}
 	return run
+}
+
+// swarRun returns the packed SWAR lane buffer sized for n words, zeroed.
+func (ws *scanWorkspace) swarRun(n int) []uint64 {
+	if cap(ws.swar) < n {
+		ws.swar = make([]uint64, n)
+		return ws.swar
+	}
+	run := ws.swar[:n]
+	for i := range run {
+		run[i] = 0
+	}
+	return run
+}
+
+// tracebackBufs returns the flattened traceback planes sized for n cells
+// each (three score planes, three pointer planes, sharing one allocation
+// apiece). The traceback kernel overwrites every cell it later reads, so no
+// clearing happens here.
+func (ws *scanWorkspace) tracebackBufs(n int) (sc []float32, ptr []byte) {
+	if cap(ws.tbSc) < 3*n {
+		ws.tbSc = make([]float32, 3*n)
+	}
+	if cap(ws.tbPtr) < 3*n {
+		ws.tbPtr = make([]byte, 3*n)
+	}
+	return ws.tbSc[:3*n], ws.tbPtr[:3*n]
 }
 
 // bandRows returns the two DP row sets sized for band width w.

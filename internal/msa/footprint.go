@@ -89,7 +89,9 @@ func BuildRunSpec(mach platform.Machine, res *Result) simhw.RunSpec {
 			case strings.HasPrefix(ev.Func, "calc_band"),
 				ev.Func == "viterbi_full",
 				ev.Func == "forward_band",
-				ev.Func == "msv_filter":
+				ev.Func == "msv_filter",
+				ev.Func == "msv_swar",
+				ev.Func == "ssv_band":
 				fw.HotBytes = sharedHot + privateHot
 				fw.SharedHotBytes = sharedHot
 				fw.Regularity = regularity

@@ -89,6 +89,10 @@ type ChainResult struct {
 	// kernels' pruning cascade provably skipped (see hmmer.Result).
 	CellsDP     uint64
 	CellsPruned uint64
+	// LanesRejected counts the full-precision work units the quantized SWAR
+	// pre-passes disposed of (a subset of CellsPruned plus whole MSV scans);
+	// zero when SWAR is disabled.
+	LanesRejected uint64
 	// Rows is the recruited alignment depth (including the query row).
 	Rows int
 	// HitResidues is the summed length of recruited hits, which feeds the
@@ -268,6 +272,7 @@ func runChain(ctx context.Context, chain inputs.Chain, opts Options, attempt int
 			cr.Scanned += merged.Scanned
 			cr.CellsDP += merged.CellsDP
 			cr.CellsPruned += merged.CellsPruned
+			cr.LanesRejected += merged.LanesRejected
 		}
 		lastHits = allHits
 		if round == rounds-1 {

@@ -43,7 +43,8 @@ func TestConcurrentRunsShareWorkspacePool(t *testing.T) {
 		for c, cr := range results[i].PerChain {
 			want := baseline.PerChain[c]
 			if cr.Hits != want.Hits || cr.Candidates != want.Candidates ||
-				cr.CellsDP != want.CellsDP || cr.CellsPruned != want.CellsPruned {
+				cr.CellsDP != want.CellsDP || cr.CellsPruned != want.CellsPruned ||
+				cr.LanesRejected != want.LanesRejected {
 				t.Errorf("run %d chain %s diverged from baseline: %+v vs %+v",
 					i, cr.ChainID, cr, want)
 			}
