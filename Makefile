@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race faults chaos bench bench-msa bench-msa-smoke swar-smoke serve-bench serve-smoke
+.PHONY: all build test check fmt vet race faults chaos chaos-disk bench bench-msa bench-msa-smoke swar-smoke serve-bench serve-smoke
 
 all: build
 
@@ -32,7 +32,7 @@ vet:
 # under the race detector on every gate.
 race:
 	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion ./internal/cache ./internal/serve ./internal/msa
-	$(GO) test -race -run 'Test|Fuzz' ./internal/hmmer
+	$(GO) test -race -run 'Test|Fuzz' ./internal/hmmer ./internal/cachedisk
 
 # Fault-injection and degradation suite under the race detector: the
 # resilience package, the cancellation paths through the scan engine, and
@@ -51,7 +51,17 @@ faults:
 chaos:
 	$(GO) run -race ./cmd/afload -chaos -seed 7 -n 120 -concurrency 8 -mix 2PV7:4,1YY9:1 -threads 2 -msa-workers 4 -gpu-workers 2
 
-check: fmt vet test race faults chaos swar-smoke bench-msa-smoke serve-smoke
+# Disk-fault chaos gate under the race detector: the persistent chain-cache
+# tier lives through a seeded disk-fault storm (torn writes, failed fsyncs,
+# mid-commit crashes, silent bit flips, read errors), direct vandalism of
+# its directory, a restart, and a fully dark disk — asserting that every
+# served MSA is bitwise-identical to fresh compute, corrupt entries are
+# counted and dropped, and sustained failure degrades to memory-only with
+# zero failed requests. A failure reproduces with the printed flag line.
+chaos-disk:
+	$(GO) run -race ./cmd/afload -chaos-disk -seed 11 -ppi 4 -concurrency 4 -threads 2 -msa-workers 4 -gpu-workers 2
+
+check: fmt vet test race faults chaos chaos-disk swar-smoke bench-msa-smoke serve-smoke
 
 # Kernel microbenchmarks with allocation tracking (serial vs parallel).
 bench:
@@ -84,11 +94,16 @@ bench-msa-smoke:
 swar-smoke:
 	$(GO) test -run 'TestSWARScanSmoke|TestSWARKillSwitch' -count 1 ./internal/hmmer
 
-# Serving benchmark: a repeat-heavy closed-loop mix through the phase-split
-# scheduler, with and without the MSA cache. Emits BENCH_serve.json.
+# Serving benchmark: the all-vs-all PPI screening mix through the two-tier
+# chain cache — a warm pass precomputes the disk tier, the measured pass
+# starts with a cold memory tier, and -compare-cache adds the cache-off and
+# request-keyed baselines with the modeled makespan improvement of
+# chain-level keys. Emits BENCH_serve.json.
 serve-bench:
-	$(GO) run ./cmd/afload -n 30 -concurrency 4 -mix promo:1,1YY9:9 -threads 4 -msa-workers 4 -compare-cache -json BENCH_serve.json
+	rm -rf /tmp/afsysbench-serve-tier
+	$(GO) run ./cmd/afload -ppi 6 -concurrency 4 -threads 4 -msa-workers 4 -cache-dir /tmp/afsysbench-serve-tier -warm -compare-cache -json BENCH_serve.json
 
 # Smoke variant of serve-bench for the check gate: small trace, no artifact.
 serve-smoke:
-	$(GO) run ./cmd/afload -n 6 -concurrency 2 -mix 1YY9:1 -threads 4 -msa-workers 2 -compare-cache
+	rm -rf /tmp/afsysbench-serve-smoke-tier
+	$(GO) run ./cmd/afload -ppi 4 -concurrency 2 -threads 4 -msa-workers 2 -cache-dir /tmp/afsysbench-serve-smoke-tier -warm -compare-cache

@@ -19,8 +19,21 @@
 //	    in-process scheduler and exits non-zero if any fault-tolerance
 //	    invariant breaks — the `make chaos` gate.
 //
-// The request trace is a pure function of -seed, -mix and -n, so runs are
-// reproducible end to end.
+//	afload -ppi 6 -cache-dir /var/cache/af -warm -compare-cache
+//	    runs the all-vs-all PPI screening mix over the two-tier chain
+//	    cache: a warm pass precomputes the disk tier, the measured pass
+//	    starts with a cold memory tier, and -compare-cache adds the
+//	    cache-off and request-keyed baselines with the modeled makespan
+//	    improvement of chain-level keys.
+//
+//	afload -chaos-disk -ppi 4
+//	    runs the disk-fault chaos gate of chaosdisk.go: injected disk
+//	    faults, a vandalized store directory, a restart and a fully dark
+//	    disk, asserting that no request ever fails or returns a result
+//	    different from fresh compute — the `make chaos-disk` gate.
+//
+// The request trace is a pure function of -seed, -mix/-ppi and -n, so runs
+// are reproducible end to end.
 package main
 
 import (
@@ -37,7 +50,9 @@ import (
 	"time"
 
 	"afsysbench/internal/cache"
+	"afsysbench/internal/cachedisk"
 	"afsysbench/internal/core"
+	"afsysbench/internal/inputs"
 	"afsysbench/internal/platform"
 	"afsysbench/internal/resilience"
 	"afsysbench/internal/rng"
@@ -56,6 +71,7 @@ type options struct {
 	n            int
 	concurrency  int
 	mix          string
+	ppi          int
 	seed         uint64
 	machine      string
 	threads      int
@@ -63,8 +79,11 @@ type options struct {
 	gpuWorkers   int
 	queue        int
 	cacheMB      int
+	cacheDir     string
+	warm         bool
 	compareCache bool
 	chaos        bool
+	chaosDisk    bool
 	jsonPath     string
 }
 
@@ -75,6 +94,7 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.n, "n", 30, "total requests")
 	fs.IntVar(&o.concurrency, "concurrency", 4, "closed-loop client count")
 	fs.StringVar(&o.mix, "mix", "promo:1,1YY9:9", "weighted sample mix, e.g. promo:1,1YY9:9")
+	fs.IntVar(&o.ppi, "ppi", 0, "all-vs-all PPI screen over the first N pool proteins (overrides -mix/-n)")
 	fs.Uint64Var(&o.seed, "seed", 7, "trace seed (trace is a pure function of seed, mix, n)")
 	fs.StringVar(&o.machine, "machine", "server", "platform for in-process mode")
 	fs.IntVar(&o.threads, "threads", 4, "per-request thread count")
@@ -82,8 +102,11 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.gpuWorkers, "gpu-workers", 0, "in-process GPU pool size; 0 = one per modeled device")
 	fs.IntVar(&o.queue, "queue", 64, "in-process admission queue depth")
 	fs.IntVar(&o.cacheMB, "cache-mb", 512, "in-process cache capacity in MiB; 0 disables")
-	fs.BoolVar(&o.compareCache, "compare-cache", false, "in-process only: rerun the trace cache-disabled and report the speedup")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "in-process only: attach the persistent chain-cache tier rooted at this directory")
+	fs.BoolVar(&o.warm, "warm", false, "in-process only: precompute the trace into the disk tier, then measure with a cold memory tier (needs -cache-dir)")
+	fs.BoolVar(&o.compareCache, "compare-cache", false, "in-process only: rerun the trace cache-disabled and request-keyed and report the speedups")
 	fs.BoolVar(&o.chaos, "chaos", false, "in-process only: run the seeded fault storm and assert the fault-tolerance invariants instead of measuring throughput")
+	fs.BoolVar(&o.chaosDisk, "chaos-disk", false, "in-process only: run the disk-fault chaos gate against the persistent tier and assert the crash-safety invariants")
 	fs.StringVar(&o.jsonPath, "json", "", "write the report JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -96,6 +119,15 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.addr != "" && o.chaos {
 		return o, fmt.Errorf("-chaos needs the in-process mode (drop -addr)")
+	}
+	if o.addr != "" && (o.chaosDisk || o.cacheDir != "" || o.warm) {
+		return o, fmt.Errorf("-chaos-disk, -cache-dir and -warm need the in-process mode (drop -addr)")
+	}
+	if o.warm && o.cacheDir == "" && !o.chaosDisk {
+		return o, fmt.Errorf("-warm needs -cache-dir (the tier it precomputes into)")
+	}
+	if o.ppi < 0 || o.ppi > inputs.PPIPoolSize {
+		return o, fmt.Errorf("-ppi must be in [0,%d]", inputs.PPIPoolSize)
 	}
 	return o, nil
 }
@@ -147,6 +179,27 @@ func buildTrace(samples []string, weights []int, n int, seed uint64) []string {
 		}
 	}
 	return trace
+}
+
+// buildPPITrace derives the all-vs-all screening trace: every unordered
+// pair over the first n pool proteins, in an order deterministically
+// shuffled by the seed so consecutive requests do not trivially share a
+// chain.
+func buildPPITrace(n int, seed uint64) ([]string, error) {
+	pairs, err := inputs.PPIAllPairs(n)
+	if err != nil {
+		return nil, err
+	}
+	trace := make([]string, len(pairs))
+	for i, in := range pairs {
+		trace[i] = in.Name
+	}
+	src := rng.New(seed).Split(0x9919)
+	for i := len(trace) - 1; i > 0; i-- {
+		j := src.Split(uint64(i)).Intn(i + 1)
+		trace[i], trace[j] = trace[j], trace[i]
+	}
+	return trace, nil
 }
 
 // target abstracts where requests go: the in-process scheduler or a remote
@@ -293,27 +346,53 @@ func drive(t target, trace []string, concurrency, threads int) serve.LoadStats {
 	return stats
 }
 
+// passConfig tunes one in-process pass beyond the shared flags.
+type passConfig struct {
+	withCache     bool
+	disk          *cachedisk.Store // nil = memory-only
+	requestScoped bool             // the request-keyed baseline mode
+	spill         bool             // push the surviving memory tier to disk after the run
+}
+
 // runInprocPass builds a scheduler from the flags, drives the trace, and
-// fills in the server-side accounting (cache stats, modeled makespans).
-func runInprocPass(o options, suite *core.Suite, mach platform.Machine, trace []string, label string, withCache bool) (serve.LoadStats, error) {
+// fills in the server-side accounting (cache stats, chain-tier breakdown,
+// modeled makespans).
+func runInprocPass(o options, suite *core.Suite, mach platform.Machine, trace []string, label string, pc passConfig) (serve.LoadStats, error) {
 	var c *cache.Cache
-	if withCache && o.cacheMB > 0 {
+	if pc.withCache && o.cacheMB > 0 {
 		c = cache.New(int64(o.cacheMB) << 20)
 	}
 	s := serve.NewWithSuite(suite, serve.Config{
-		Machine:    mach,
-		Threads:    o.threads,
-		MSAWorkers: o.msaWorkers,
-		GPUWorkers: o.gpuWorkers,
-		QueueDepth: o.queue,
-		Cache:      c,
+		Machine:           mach,
+		Threads:           o.threads,
+		MSAWorkers:        o.msaWorkers,
+		GPUWorkers:        o.gpuWorkers,
+		QueueDepth:        o.queue,
+		Cache:             c,
+		DiskCache:         pc.disk,
+		RequestScopedKeys: pc.requestScoped,
 	})
 	s.Start()
 	stats := drive(inprocTarget{s: s}, trace, o.concurrency, o.threads)
+	if pc.spill {
+		s.SpillCache()
+	}
 	s.Stop()
 	stats.Label = label
 	stats.Cache = c.Stats()
 	stats.CacheHitRate = stats.Cache.HitRate()
+	m := s.Metrics()
+	stats.ChainMemHits = m.Get("msa_chain_mem_hits")
+	stats.ChainDiskHits = m.Get("msa_chain_disk_hits")
+	stats.ChainFresh = m.Get("msa_chain_misses")
+	if lookups := stats.ChainMemHits + stats.ChainDiskHits + stats.ChainFresh; lookups > 0 {
+		stats.MemHitRate = float64(stats.ChainMemHits) / float64(lookups)
+		stats.DiskHitRate = float64(stats.ChainDiskHits) / float64(lookups)
+	}
+	if pc.disk != nil {
+		ds := pc.disk.Stats()
+		stats.Disk = &ds
+	}
 	cfg := s.Config()
 	sched := s.ModeledSchedule(cfg.MSAWorkers, cfg.GPUWorkers)
 	stats.ModeledMakespan = sched.Makespan
@@ -330,6 +409,10 @@ func printStats(w *os.File, st serve.LoadStats) {
 		st.WallSeconds, st.Throughput,
 		st.Latency.P50Ms, st.Latency.P95Ms, st.Latency.P99Ms,
 		100*st.CacheHitRate, 100*st.ShedRate)
+	if st.ChainMemHits+st.ChainDiskHits+st.ChainFresh > 0 {
+		fmt.Fprintf(w, "%-10s chains: %d mem (%.1f%%), %d disk (%.1f%%), %d fresh\n",
+			"", st.ChainMemHits, 100*st.MemHitRate, st.ChainDiskHits, 100*st.DiskHitRate, st.ChainFresh)
+	}
 	if st.ModeledSerial > 0 {
 		fmt.Fprintf(w, "%-10s modeled: phase-split makespan %.0fs vs serial %.0fs -> %.2fx\n",
 			"", st.ModeledMakespan, st.ModeledSerial, st.ModeledSpeedup)
@@ -344,15 +427,28 @@ func run(args []string, out *os.File) error {
 	if o.chaos {
 		return runChaos(o, out)
 	}
-	samples, weights, err := parseMix(o.mix)
-	if err != nil {
-		return err
+	if o.chaosDisk {
+		return runChaosDisk(o, out)
 	}
-	trace := buildTrace(samples, weights, o.n, o.seed)
+	var trace []string
+	mixLabel := o.mix
+	if o.ppi > 0 {
+		trace, err = buildPPITrace(o.ppi, o.seed)
+		if err != nil {
+			return err
+		}
+		mixLabel = fmt.Sprintf("ppi all-vs-all over %d pool proteins", o.ppi)
+	} else {
+		samples, weights, err := parseMix(o.mix)
+		if err != nil {
+			return err
+		}
+		trace = buildTrace(samples, weights, o.n, o.seed)
+	}
 
 	report := serve.LoadReport{
-		Mix:         o.mix,
-		Requests:    o.n,
+		Mix:         mixLabel,
+		Requests:    len(trace),
 		Concurrency: o.concurrency,
 		Threads:     o.threads,
 		MSAWorkers:  o.msaWorkers,
@@ -360,6 +456,7 @@ func run(args []string, out *os.File) error {
 		QueueDepth:  o.queue,
 		CacheMB:     o.cacheMB,
 		Seed:        o.seed,
+		CacheDir:    o.cacheDir,
 	}
 
 	if o.addr != "" {
@@ -377,14 +474,33 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		withCache, err := runInprocPass(o, suite, mach, trace, "with-cache", true)
+		var disk *cachedisk.Store
+		if o.cacheDir != "" {
+			disk, err = cachedisk.Open(cachedisk.Config{Dir: o.cacheDir})
+			if err != nil {
+				return err
+			}
+			defer disk.Close()
+		}
+		if o.warm {
+			// The precompute pass fills the disk tier through a throwaway
+			// memory tier, so the measured pass below starts with a cold
+			// memory tier but a warm disk.
+			warm, err := runInprocPass(o, suite, mach, trace, "warm", passConfig{withCache: true, disk: disk, spill: true})
+			if err != nil {
+				return err
+			}
+			printStats(out, warm)
+			report.Warm = &warm
+		}
+		withCache, err := runInprocPass(o, suite, mach, trace, "with-cache", passConfig{withCache: true, disk: disk})
 		if err != nil {
 			return err
 		}
 		printStats(out, withCache)
 		report.WithCache = &withCache
 		if o.compareCache {
-			noCache, err := runInprocPass(o, suite, mach, trace, "no-cache", false)
+			noCache, err := runInprocPass(o, suite, mach, trace, "no-cache", passConfig{})
 			if err != nil {
 				return err
 			}
@@ -394,6 +510,21 @@ func run(args []string, out *os.File) error {
 				report.ThroughputSpeedup = withCache.Throughput / noCache.Throughput
 				fmt.Fprintf(out, "cache throughput speedup: %.2fx (hit rate %.1f%%)\n",
 					report.ThroughputSpeedup, 100*withCache.CacheHitRate)
+			}
+			// The request-keyed memory-only baseline: what the serving tier
+			// looked like before chain-level keys. Its modeled makespan over
+			// the chain-keyed pass's is the deployment-scale win of sharing
+			// chains across complexes.
+			baseline, err := runInprocPass(o, suite, mach, trace, "req-keyed", passConfig{withCache: true, requestScoped: true})
+			if err != nil {
+				return err
+			}
+			printStats(out, baseline)
+			report.Baseline = &baseline
+			if withCache.ModeledMakespan > 0 {
+				report.MakespanImprovement = baseline.ModeledMakespan / withCache.ModeledMakespan
+				fmt.Fprintf(out, "chain-keyed modeled makespan improvement over request-keyed: %.2fx\n",
+					report.MakespanImprovement)
 			}
 		}
 	}

@@ -70,6 +70,53 @@ func TestParseFlagsValidation(t *testing.T) {
 	if _, err := parseFlags([]string{"-addr", "http://x", "-compare-cache"}); err == nil {
 		t.Fatal("-compare-cache with -addr accepted")
 	}
+	if _, err := parseFlags([]string{"-addr", "http://x", "-cache-dir", "/tmp/x"}); err == nil {
+		t.Fatal("-cache-dir with -addr accepted")
+	}
+	if _, err := parseFlags([]string{"-warm"}); err == nil {
+		t.Fatal("-warm without -cache-dir accepted")
+	}
+	if _, err := parseFlags([]string{"-ppi", "999"}); err == nil {
+		t.Fatal("-ppi beyond the pool accepted")
+	}
+}
+
+func TestBuildPPITrace(t *testing.T) {
+	a, err := buildPPITrace(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 { // all unordered pairs over 4 proteins, homodimers included
+		t.Fatalf("trace length = %d, want 10", len(a))
+	}
+	b, err := buildPPITrace(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ppi trace not deterministic at %d", i)
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate pair %s", a[i])
+		}
+		seen[a[i]] = true
+	}
+	c, err := buildPPITrace(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed does not shuffle the ppi trace")
+	}
 }
 
 // TestEndToEndComparison runs a small in-process comparison and checks the
@@ -117,5 +164,78 @@ func TestEndToEndComparison(t *testing.T) {
 	}
 	if rep.WithCache.ModeledSerial <= rep.WithCache.ModeledMakespan {
 		t.Fatalf("modeled schedule not better than serial: %+v", rep.WithCache)
+	}
+}
+
+// TestWarmTwoTierPPI runs the serve-bench shape end to end: a PPI screen
+// over a warmed disk tier with the request-keyed baseline, checking the
+// two-tier accounting the BENCH_serve.json artifact reports.
+func TestWarmTwoTierPPI(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	err = run([]string{
+		"-ppi", "4", "-concurrency", "2",
+		"-threads", "2", "-msa-workers", "2",
+		"-cache-dir", filepath.Join(dir, "tier"),
+		"-warm", "-compare-cache", "-json", jsonPath,
+	}, devnull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serve.LoadReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Warm == nil || rep.WithCache == nil || rep.Baseline == nil {
+		t.Fatal("report missing a pass")
+	}
+	// The warm pass computed each of the 4 pool chains once and shared
+	// the remaining lookups in memory.
+	if rep.Warm.ChainFresh != 4 || rep.Warm.ChainMemHits == 0 {
+		t.Fatalf("warm pass chains: %+v", rep.Warm)
+	}
+	// The measured pass starts with a cold memory tier over a warm disk:
+	// nothing is computed fresh, and the disk serves each chain's first
+	// sighting.
+	if rep.WithCache.ChainFresh != 0 || rep.WithCache.ChainDiskHits != 4 {
+		t.Fatalf("measured pass chains: %+v", rep.WithCache)
+	}
+	if rep.WithCache.Disk == nil || rep.WithCache.Disk.Hits < 4 {
+		t.Fatalf("disk stats: %+v", rep.WithCache.Disk)
+	}
+	// Every pair in the all-vs-all trace is distinct, so request-keyed
+	// caching shares nothing and chain keys must win the modeled
+	// makespan.
+	if rep.Baseline.ChainMemHits != 0 || rep.Baseline.ChainDiskHits != 0 {
+		t.Fatalf("request-keyed baseline shared chains: %+v", rep.Baseline)
+	}
+	if rep.MakespanImprovement <= 1 {
+		t.Fatalf("makespan improvement = %v", rep.MakespanImprovement)
+	}
+}
+
+// TestChaosDiskGate runs the full disk-fault chaos sequence at the same
+// shape as the `make chaos-disk` target, just smaller.
+func TestChaosDiskGate(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	err = run([]string{
+		"-chaos-disk", "-seed", "11", "-ppi", "3",
+		"-concurrency", "2", "-threads", "2", "-msa-workers", "2",
+	}, devnull)
+	if err != nil {
+		t.Fatalf("chaos-disk gate failed: %v", err)
 	}
 }

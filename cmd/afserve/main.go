@@ -10,6 +10,7 @@
 //	afserve -msa-workers 8 -gpu-workers 1 -queue 128
 //	afserve -cache-mb 256                    # bound the MSA cache
 //	afserve -cache-mb 0                      # disable the cache
+//	afserve -cache-dir /var/cache/af         # persistent chain-cache tier
 //	afserve -deadline 30s -cold              # per-request deadline, cold model
 //	afserve -msa-attempts 3 -hedge           # checkpointed retries + hedging
 //	afserve -faults transient:uniref_s:1     # inject faults (robustness demos)
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"afsysbench/internal/cache"
+	"afsysbench/internal/cachedisk"
 	"afsysbench/internal/parallel"
 	"afsysbench/internal/platform"
 	"afsysbench/internal/resilience"
@@ -58,6 +60,7 @@ type options struct {
 	gpuWorkers int
 	queue      int
 	cacheMB    int
+	cacheDir   string
 	deadline   time.Duration
 	cold       bool
 
@@ -78,6 +81,7 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.gpuWorkers, "gpu-workers", 0, "inference (GPU) pool size; 0 = one per modeled device")
 	fs.IntVar(&o.queue, "queue", 64, "admission queue depth; a full queue sheds (503)")
 	fs.IntVar(&o.cacheMB, "cache-mb", 512, "MSA cache capacity in MiB; 0 disables caching")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "crash-safe persistent chain-cache tier rooted at this directory (needs -cache-mb > 0); survives restarts")
 	fs.DurationVar(&o.deadline, "deadline", 0, "default per-request wall deadline (0 = none)")
 	fs.BoolVar(&o.cold, "cold", false, "cold model per request (pay GPU init + XLA compile each time)")
 	fs.StringVar(&o.faults, "faults", "", "fault spec injected into every request, e.g. transient:uniref_s:1,chainfault:B:1")
@@ -102,6 +106,16 @@ func buildServer(o options) (*serve.Server, error) {
 	if o.cacheMB > 0 {
 		c = cache.New(int64(o.cacheMB) << 20)
 	}
+	var disk *cachedisk.Store
+	if o.cacheDir != "" {
+		if c == nil {
+			return nil, fmt.Errorf("-cache-dir needs the memory tier (-cache-mb > 0)")
+		}
+		disk, err = cachedisk.Open(cachedisk.Config{Dir: o.cacheDir})
+		if err != nil {
+			return nil, err
+		}
+	}
 	var faults resilience.Faults
 	if o.faults != "" {
 		faults, err = resilience.ParseFaults(o.faults)
@@ -116,6 +130,7 @@ func buildServer(o options) (*serve.Server, error) {
 		GPUWorkers:       o.gpuWorkers,
 		QueueDepth:       o.queue,
 		Cache:            c,
+		DiskCache:        disk,
 		DefaultTimeout:   o.deadline,
 		ColdModel:        o.cold,
 		Faults:           faults,
@@ -141,6 +156,9 @@ func run(args []string) error {
 	cacheDesc := "disabled"
 	if cfg.Cache != nil {
 		cacheDesc = fmt.Sprintf("%d MiB", o.cacheMB)
+		if cfg.DiskCache != nil {
+			cacheDesc += fmt.Sprintf(" + disk tier %s (%d entries)", cfg.DiskCache.Dir(), cfg.DiskCache.Len())
+		}
 	}
 	fmt.Printf("afserve: %s on %s | %d msa workers (cores %d), %d gpu workers (devices %d), queue %d, cache %s\n",
 		cfg.Machine.Name, o.addr, cfg.MSAWorkers, parallel.DefaultWorkers(),

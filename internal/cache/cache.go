@@ -77,6 +77,7 @@ type Cache struct {
 	ll       *list.List // front = most recently used
 	entries  map[string]*list.Element
 	flights  map[string]*flight
+	onEvict  func(key string, val any, size int64)
 
 	hits, misses, shared, evictions uint64
 }
@@ -104,6 +105,20 @@ func New(capacityBytes int64) *Cache {
 		entries:  make(map[string]*list.Element),
 		flights:  make(map[string]*flight),
 	}
+}
+
+// SetOnEvict installs a callback invoked for every entry removed by LRU
+// pressure (not for replacements of the same key). The callback runs after
+// the cache lock is released — it may do I/O or call back into the cache —
+// but eviction order is preserved. Used by the serving layer to spill
+// evicted MSA chains to the persistent disk tier.
+func (c *Cache) SetOnEvict(fn func(key string, val any, size int64)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
 }
 
 // Get returns the stored value for key, marking it most recently used.
@@ -175,11 +190,14 @@ func (c *Cache) GetOrCompute(key string, compute func() (any, int64, error)) (va
 	f.val, f.err = v, err
 	c.mu.Lock()
 	delete(c.flights, key)
+	var evicted []*entry
 	if err == nil {
-		c.insertLocked(key, v, size)
+		evicted = c.insertLocked(key, v, size)
 	}
+	hook := c.onEvict
 	c.mu.Unlock()
 	close(f.done)
+	c.notifyEvicted(hook, evicted)
 	if err != nil {
 		return nil, false, err
 	}
@@ -193,15 +211,18 @@ func (c *Cache) Add(key string, val any, size int64) {
 		return
 	}
 	c.mu.Lock()
-	c.insertLocked(key, val, size)
+	evicted := c.insertLocked(key, val, size)
+	hook := c.onEvict
 	c.mu.Unlock()
+	c.notifyEvicted(hook, evicted)
 }
 
 // insertLocked stores (or replaces) an entry at the MRU position and
 // evicts from the LRU end until the capacity holds. An entry larger than
 // the whole capacity is evicted immediately (uncacheable), keeping the
-// bytes bound a hard invariant.
-func (c *Cache) insertLocked(key string, val any, size int64) {
+// bytes bound a hard invariant. Evicted entries are returned so the caller
+// can run the OnEvict hook outside the lock.
+func (c *Cache) insertLocked(key string, val any, size int64) []*entry {
 	if size < 1 {
 		size = 1
 	}
@@ -216,8 +237,9 @@ func (c *Cache) insertLocked(key string, val any, size int64) {
 		c.bytes += size
 	}
 	if c.capacity <= 0 {
-		return
+		return nil
 	}
+	var evicted []*entry
 	for c.bytes > c.capacity && c.ll.Len() > 0 {
 		el := c.ll.Back()
 		e := el.Value.(*entry)
@@ -225,6 +247,55 @@ func (c *Cache) insertLocked(key string, val any, size int64) {
 		delete(c.entries, e.key)
 		c.bytes -= e.size
 		c.evictions++
+		evicted = append(evicted, e)
+	}
+	return evicted
+}
+
+// notifyEvicted runs the eviction hook for each removed entry, in eviction
+// order, with no cache lock held.
+func (c *Cache) notifyEvicted(hook func(string, any, int64), evicted []*entry) {
+	if hook == nil {
+		return
+	}
+	for _, e := range evicted {
+		hook(e.key, e.val, e.size)
+	}
+}
+
+// EntrySize returns the caller-declared byte size of the stored entry for
+// key, without touching recency or counters.
+func (c *Cache) EntrySize(key string) (int64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return 0, false
+	}
+	return el.Value.(*entry).size, true
+}
+
+// Range calls fn for every stored entry, most recently used first, until
+// fn returns false. The snapshot is taken under the lock and fn runs
+// outside it, so fn may call back into the cache; entries added or evicted
+// after the snapshot are not reflected. Recency and counters are untouched.
+func (c *Cache) Range(fn func(key string, val any, size int64) bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	snap := make([]entry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		snap = append(snap, *el.Value.(*entry))
+	}
+	c.mu.Unlock()
+	for i := range snap {
+		if !fn(snap[i].key, snap[i].val, snap[i].size) {
+			return
+		}
 	}
 }
 

@@ -283,3 +283,105 @@ func TestHitRate(t *testing.T) {
 		t.Fatalf("hit rate = %v, want 0.9", got)
 	}
 }
+
+func TestOnEvictHook(t *testing.T) {
+	c := New(20)
+	type ev struct {
+		key  string
+		size int64
+	}
+	var got []ev
+	c.SetOnEvict(func(key string, val any, size int64) {
+		got = append(got, ev{key, size})
+		// Reentrancy: the hook runs outside the lock, so calling back into
+		// the cache must not deadlock.
+		_ = c.Len()
+	})
+	c.Add("a", "A", 10)
+	c.Add("b", "B", 10)
+	if len(got) != 0 {
+		t.Fatalf("premature evictions: %v", got)
+	}
+	c.Add("c", "C", 10) // evicts a (LRU)
+	c.Add("d", "D", 20) // evicts b then c
+	want := []ev{{"a", 10}, {"b", 10}, {"c", 10}}
+	if len(got) != len(want) {
+		t.Fatalf("evictions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("eviction %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOnEvictNotFiredOnReplace(t *testing.T) {
+	c := New(100)
+	fired := 0
+	c.SetOnEvict(func(string, any, int64) { fired++ })
+	c.Add("k", 1, 10)
+	c.Add("k", 2, 20)
+	if fired != 0 {
+		t.Fatalf("replacement fired the eviction hook %d times", fired)
+	}
+	if v, ok := c.Get("k"); !ok || v.(int) != 2 {
+		t.Fatalf("replacement lost: v=%v ok=%v", v, ok)
+	}
+}
+
+func TestOnEvictFromGetOrCompute(t *testing.T) {
+	c := New(10)
+	var evicted []string
+	c.SetOnEvict(func(key string, val any, size int64) { evicted = append(evicted, key) })
+	if _, _, err := c.GetOrCompute("x", func() (any, int64, error) { return "X", 10, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetOrCompute("y", func() (any, int64, error) { return "Y", 10, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != "x" {
+		t.Fatalf("evicted = %v, want [x]", evicted)
+	}
+}
+
+func TestEntrySize(t *testing.T) {
+	c := New(0)
+	c.Add("k", "v", 37)
+	if sz, ok := c.EntrySize("k"); !ok || sz != 37 {
+		t.Fatalf("EntrySize(k) = %d,%v want 37,true", sz, ok)
+	}
+	if _, ok := c.EntrySize("missing"); ok {
+		t.Fatal("EntrySize reported a missing key")
+	}
+	st := c.Stats()
+	if st.Hits != 0 && st.Misses != 0 {
+		t.Fatalf("EntrySize touched counters: %+v", st)
+	}
+	var nilCache *Cache
+	if _, ok := nilCache.EntrySize("k"); ok {
+		t.Fatal("nil cache reported an entry")
+	}
+}
+
+func TestRangeMRUOrderAndEarlyStop(t *testing.T) {
+	c := New(0)
+	c.Add("a", 1, 1)
+	c.Add("b", 2, 2)
+	c.Add("c", 3, 3)
+	c.Get("a") // a becomes MRU
+	var keys []string
+	c.Range(func(key string, val any, size int64) bool {
+		keys = append(keys, key)
+		return true
+	})
+	if fmt.Sprint(keys) != "[a c b]" {
+		t.Fatalf("Range order = %v, want [a c b]", keys)
+	}
+	n := 0
+	c.Range(func(string, any, int64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range ignored early stop: %d calls", n)
+	}
+	var nilCache *Cache
+	nilCache.Range(func(string, any, int64) bool { t.Fatal("nil cache ranged"); return false })
+}

@@ -1,0 +1,111 @@
+package cachedisk
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzKey is the well-formed key every fuzz target stores under.
+const fuzzKey = "deadbeef00112233445566778899aabb"
+
+// validEntryBytes builds a correct on-disk entry for seeding.
+func validEntryBytes(key string, codec uint16, payload []byte) []byte {
+	return append(appendHeader(nil, key, codec, payload), payload...)
+}
+
+// FuzzReloadEntry drops arbitrary bytes where an entry file lives (with a
+// journal that references it) and opens the store. The invariants under
+// fuzzing: Open never panics and never errors, and Get either misses or
+// returns a payload whose sha256 matches the checksum embedded in the
+// fuzzed file — a wrong payload is impossible, not just unlikely.
+func FuzzReloadEntry(f *testing.F) {
+	good := validEntryBytes(fuzzKey, 1, []byte("chain delta payload"))
+	f.Add(good)
+	f.Add(good[:len(good)/2])                                       // truncated mid-payload
+	f.Add([]byte{})                                                 // zero-length file
+	f.Add([]byte("AFC1 but not really"))                            // magic prefix, garbage rest
+	f.Add(validEntryBytes("otherkey00", 1, []byte("cross-linked"))) // wrong embedded key
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-3] ^= 0x20
+	f.Add(flipped) // bit rot in payload
+
+	f.Fuzz(func(t *testing.T, entry []byte) {
+		dir := t.TempDir()
+		objects := filepath.Join(dir, objectsDir)
+		if err := os.MkdirAll(objects, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(objects, fuzzKey+entrySuffix), entry, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec := journalRecord(fuzzKey, 1, int64(len(entry)))
+		if err := os.WriteFile(filepath.Join(dir, journalName), rec, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s, err := Open(Config{Dir: dir})
+		if err != nil {
+			t.Fatalf("Open errored on corrupt state: %v", err)
+		}
+		defer s.Close()
+		payload, _, ok := s.Get(fuzzKey)
+		if !ok {
+			return
+		}
+		// A served payload must be exactly the one the file's own header
+		// committed to.
+		const fixed = len(magic) + 2 + 2 + 2
+		off := fixed + len(fuzzKey) + 8
+		if off+sha256.Size > len(entry) {
+			t.Fatalf("served %d bytes from a file too short to hold a checksum", len(payload))
+		}
+		var want [sha256.Size]byte
+		copy(want[:], entry[off:])
+		if sha256.Sum256(payload) != want {
+			t.Fatal("served payload does not match the entry's own checksum")
+		}
+		if !bytes.Equal(payload, entry[off+sha256.Size:]) {
+			t.Fatal("served payload is not the entry's payload bytes")
+		}
+	})
+}
+
+// FuzzJournalReplay drops arbitrary bytes into the index journal next to
+// one good entry. Open must never panic or error, and any entry it does
+// serve must verify — replay damage only ever loses entries.
+func FuzzJournalReplay(f *testing.F) {
+	goodRec := journalRecord(fuzzKey, 1, 19)
+	f.Add(goodRec)
+	f.Add(goodRec[:len(goodRec)-2]) // torn final record
+	f.Add([]byte{})
+	f.Add([]byte{journalRecMagic, 0xff, 0xff})                     // absurd key length
+	f.Add(append(append([]byte(nil), goodRec...), goodRec[:5]...)) // good + torn tail
+	doubled := append(append([]byte(nil), goodRec...), goodRec...)
+	f.Add(doubled) // duplicate records
+
+	f.Fuzz(func(t *testing.T, journal []byte) {
+		dir := t.TempDir()
+		objects := filepath.Join(dir, objectsDir)
+		if err := os.MkdirAll(objects, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		payload := []byte("reference payload 42")
+		if err := os.WriteFile(filepath.Join(objects, fuzzKey+entrySuffix), validEntryBytes(fuzzKey, 1, payload), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, journalName), journal, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(Config{Dir: dir})
+		if err != nil {
+			t.Fatalf("Open errored on corrupt journal: %v", err)
+		}
+		defer s.Close()
+		if got, _, ok := s.Get(fuzzKey); ok && !bytes.Equal(got, payload) {
+			t.Fatalf("journal damage changed a served payload: %q", got)
+		}
+	})
+}

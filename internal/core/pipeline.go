@@ -77,6 +77,11 @@ type PipelineOptions struct {
 	// after this wall-clock delay (0 disables). Latency-only: results are
 	// identical with or without hedging.
 	HedgeAfter time.Duration
+	// ChainCache is the serving layer's cross-request per-chain MSA cache
+	// hook, threaded down to msa.Options.ChainCache. The scope it receives
+	// is the database-profile signature of the plan being run, so a chain
+	// searched under a degraded profile never serves the full one.
+	ChainCache msa.ChainFetch
 }
 
 // PipelineResult is the end-to-end outcome for one sample on one machine.
@@ -340,12 +345,13 @@ func (s *Suite) runMSAStage(ctx context.Context, in *inputs.Input, mach platform
 		}
 		// Chain faults and checkpoints make the search attempt-dependent:
 		// the memo must not absorb (or replay around) either.
-		fresh := opts.FreshMSA || opts.MSACheckpoint != nil || inj.HasChainFaults()
+		fresh := opts.FreshMSA || opts.MSACheckpoint != nil || inj.HasChainFaults() || opts.ChainCache != nil
 		msaRes, err := s.msaResultFor(ctx, in, opts.Threads, s.reducedDBSet(active), s.dbSignature(active), fresh, msaExtras{
 			checkpoint: opts.MSACheckpoint,
 			chainFault: inj.ChainFault,
 			chainDone:  opts.ChainDone,
 			hedgeAfter: opts.HedgeAfter,
+			chainCache: opts.ChainCache,
 		})
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {

@@ -84,6 +84,7 @@ type msaExtras struct {
 	chainFault func(chainID string, attempt int) error
 	chainDone  func(chainID string, wall time.Duration)
 	hedgeAfter time.Duration
+	chainCache msa.ChainFetch
 }
 
 // msaResultFor runs (or returns the cached) MSA phase against a specific
@@ -115,6 +116,7 @@ func (s *Suite) msaResultFor(ctx context.Context, in *inputs.Input, threads int,
 		ChainFault:      ex.chainFault,
 		ChainDone:       ex.chainDone,
 		HedgeAfter:      ex.hedgeAfter,
+		ChainCache:      ex.chainCache,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,96 @@
+package inputs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"afsysbench/internal/seq"
+)
+
+// PPI screening pool: a fixed set of deterministic synthetic proteins
+// whose pairwise combinations model an all-vs-all protein–protein
+// interaction screen — the serving mix where chain-level caching pays,
+// because every pool protein reappears in PPIPoolSize different
+// complexes. Pool membership, lengths and letters are all derived from
+// the sample seed, so `ppi-0x3` names the same assembly in every
+// process.
+
+// PPIPoolSize is the number of distinct proteins in the screening pool.
+const PPIPoolSize = 10
+
+// ppiPool returns the pool proteins. Chain i carries the sequence ID
+// "ppiNN" in every pair it appears in — the identity the chain cache
+// fingerprints — and lengths are staggered 100..145 so pairs stay cheap
+// enough for tests while still differing in work.
+func ppiPool() []*seq.Sequence {
+	g := gen(6)
+	pool := make([]*seq.Sequence, PPIPoolSize)
+	for i := range pool {
+		pool[i] = g.Random(fmt.Sprintf("ppi%02d", i), seq.Protein, 100+5*i)
+	}
+	return pool
+}
+
+// PPIPair returns the complex of pool proteins i and j, named
+// "ppi-IxJ". i == j is the homodimer: one chain entry with two copies.
+func PPIPair(i, j int) (*Input, error) {
+	if i < 0 || i >= PPIPoolSize || j < 0 || j >= PPIPoolSize {
+		return nil, fmt.Errorf("inputs: ppi pair (%d,%d) outside pool [0,%d)", i, j, PPIPoolSize)
+	}
+	pool := ppiPool()
+	in := &Input{Name: fmt.Sprintf("ppi-%dx%d", i, j)}
+	if i == j {
+		in.Chains = []Chain{{IDs: []string{"A", "B"}, Sequence: pool[i]}}
+	} else {
+		in.Chains = []Chain{
+			{IDs: []string{"A"}, Sequence: pool[i]},
+			{IDs: []string{"B"}, Sequence: pool[j]},
+		}
+	}
+	return in, nil
+}
+
+// PPIAllPairs returns every unordered pair i <= j in lexicographic
+// order — the full all-vs-all screen over the first n pool proteins
+// (n <= PPIPoolSize; n <= 0 means the whole pool).
+func PPIAllPairs(n int) ([]*Input, error) {
+	if n <= 0 || n > PPIPoolSize {
+		n = PPIPoolSize
+	}
+	var out []*Input
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			in, err := PPIPair(i, j)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, in)
+		}
+	}
+	return out, nil
+}
+
+// ppiByName resolves a "ppi-IxJ" name, returning ok=false for anything
+// that is not a ppi name at all and an error for a malformed or
+// out-of-range one.
+func ppiByName(name string) (*Input, bool, error) {
+	rest, ok := strings.CutPrefix(name, "ppi-")
+	if !ok {
+		return nil, false, nil
+	}
+	si, sj, ok := strings.Cut(rest, "x")
+	if !ok {
+		return nil, true, fmt.Errorf("inputs: malformed ppi name %q", name)
+	}
+	i, err1 := strconv.Atoi(si)
+	j, err2 := strconv.Atoi(sj)
+	if err1 != nil || err2 != nil {
+		return nil, true, fmt.Errorf("inputs: malformed ppi name %q", name)
+	}
+	in, err := PPIPair(i, j)
+	if err != nil {
+		return nil, true, err
+	}
+	return in, true, nil
+}

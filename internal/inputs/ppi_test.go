@@ -1,0 +1,103 @@
+package inputs
+
+import (
+	"testing"
+)
+
+func TestPPIPairSharesPoolSequences(t *testing.T) {
+	a, err := PPIPair(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PPIPair(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Pool protein 3 appears in both pairs with the same sequence
+	// identity and letters — that equality is what lets the chain cache
+	// share its MSA across complexes.
+	s1, s2 := a.Chains[1].Sequence, b.Chains[0].Sequence
+	if s1.ID != s2.ID || s1.Letters() != s2.Letters() {
+		t.Fatalf("pool chain 3 differs across pairs: %q vs %q", s1.ID, s2.ID)
+	}
+	if s1.ID != "ppi03" {
+		t.Fatalf("pool chain ID = %q, want ppi03", s1.ID)
+	}
+}
+
+func TestPPIHomodimer(t *testing.T) {
+	in, err := PPIPair(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Chains) != 1 || in.Chains[0].Copies() != 2 {
+		t.Fatalf("homodimer chains = %+v, want one entry with two copies", in.Chains)
+	}
+	if in.Name != "ppi-2x2" {
+		t.Fatalf("name = %q", in.Name)
+	}
+}
+
+func TestPPIPairBounds(t *testing.T) {
+	for _, pair := range [][2]int{{-1, 0}, {0, PPIPoolSize}, {PPIPoolSize, 0}} {
+		if _, err := PPIPair(pair[0], pair[1]); err == nil {
+			t.Errorf("PPIPair(%d,%d) accepted out-of-pool index", pair[0], pair[1])
+		}
+	}
+}
+
+func TestPPIByName(t *testing.T) {
+	in, err := ByName("ppi-1x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := PPIPair(1, 4)
+	if in.Name != want.Name || in.TotalResidues() != want.TotalResidues() {
+		t.Fatalf("ByName(ppi-1x4) = %+v, want %+v", in, want)
+	}
+	for _, bad := range []string{"ppi-", "ppi-1", "ppi-ax2", "ppi-1x99", "ppi-1x-2x3"} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q) accepted malformed/out-of-range name", bad)
+		}
+	}
+	// Non-ppi names still resolve through the sample table.
+	if _, err := ByName("1YY9"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPPIAllPairs(t *testing.T) {
+	pairs, err := PPIAllPairs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 10 { // C(4,2) + 4 homodimers
+		t.Fatalf("PPIAllPairs(4) = %d pairs, want 10", len(pairs))
+	}
+	seen := make(map[string]bool)
+	for _, in := range pairs {
+		if seen[in.Name] {
+			t.Fatalf("duplicate pair %s", in.Name)
+		}
+		seen[in.Name] = true
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+	}
+	all, err := PPIAllPairs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := PPIPoolSize * (PPIPoolSize + 1) / 2; len(all) != want {
+		t.Fatalf("PPIAllPairs(0) = %d pairs, want %d", len(all), want)
+	}
+}

@@ -103,8 +103,12 @@ func Samples() []*Input {
 	return []*Input{Sample2PV7(), Sample7RCE(), Sample1YY9(), SamplePromo(), Sample6QNR()}
 }
 
-// ByName returns a Table II sample by name.
+// ByName returns a Table II sample or a "ppi-IxJ" screening pair by
+// name.
 func ByName(name string) (*Input, error) {
+	if in, isPPI, err := ppiByName(name); isPPI {
+		return in, err
+	}
 	for _, s := range Samples() {
 		if s.Name == name {
 			return s, nil

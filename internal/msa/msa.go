@@ -46,6 +46,15 @@ type Options struct {
 	// so a re-plan against a reduced profile never replays a delta
 	// computed against a different one.
 	CheckpointScope string
+	// ChainCache, when set, is the serving layer's cross-request chain
+	// cache: consulted once per chain after the per-request Checkpoint,
+	// with the CheckpointScope and a compute closure running the real
+	// search. A hit merges the cached delta (byte-identical to a fresh
+	// search, with the chain label rewritten for this complex) and counts
+	// into CachedChains/CachedWork instead of FreshWork. ChainDone and the
+	// hedge counters observe only real searches, mirroring Checkpoint
+	// replay semantics.
+	ChainCache ChainFetch
 	// ChainFault, when set, is consulted at the start of every chain
 	// search attempt with the chain id and the 1-based attempt ordinal
 	// (a hedge backup is a further attempt); a non-nil error fails that
@@ -127,6 +136,14 @@ type Result struct {
 	RestoredChains  int
 	Hedges          int
 	HedgeBackupWins int
+	// CachedChains counts chains served by the ChainCache hook; FreshWork
+	// and CachedWork split the modeled instructions between really-searched
+	// and cache-served chains (their sum is cache-independent; the split is
+	// operational, excluded from determinism comparisons). The serving
+	// layer charges MSA seconds by the fresh share.
+	CachedChains int
+	FreshWork    uint64
+	CachedWork   uint64
 }
 
 // Run executes the MSA phase for the input: for every protein/RNA chain,
@@ -165,6 +182,40 @@ func RunCtx(ctx context.Context, in *inputs.Input, opts Options) (*Result, error
 		cid := chain.IDs[0]
 		if d := opts.Checkpoint.lookup(opts.CheckpointScope, cid); d != nil {
 			res.RestoredChains++
+			res.FreshWork += deltaWork(d)
+			res.merge(d)
+			perChainHits = append(perChainHits, d.hits)
+			continue
+		}
+		if opts.ChainCache != nil {
+			cc, hit, err := opts.ChainCache(opts.CheckpointScope, chain, func() (*CachedChain, error) {
+				start := time.Now()
+				d, hedged, backupWon, err := runChainHedged(ctx, chain, opts)
+				if err != nil {
+					return nil, err
+				}
+				if hedged {
+					res.Hedges++
+					if backupWon {
+						res.HedgeBackupWins++
+					}
+				}
+				if opts.ChainDone != nil {
+					opts.ChainDone(cid, time.Since(start))
+				}
+				return newCachedChain(d), nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("msa %s chain %s: %w", in.Name, cid, err)
+			}
+			if hit {
+				res.CachedChains++
+				res.CachedWork += cc.Work()
+			} else {
+				res.FreshWork += cc.Work()
+			}
+			d := cc.deltaFor(cid)
+			opts.Checkpoint.store(opts.CheckpointScope, cid, d)
 			res.merge(d)
 			perChainHits = append(perChainHits, d.hits)
 			continue
@@ -184,6 +235,7 @@ func RunCtx(ctx context.Context, in *inputs.Input, opts Options) (*Result, error
 			opts.ChainDone(cid, time.Since(start))
 		}
 		opts.Checkpoint.store(opts.CheckpointScope, cid, d)
+		res.FreshWork += deltaWork(d)
 		res.merge(d)
 		perChainHits = append(perChainHits, d.hits)
 	}

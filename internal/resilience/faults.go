@@ -18,6 +18,9 @@ type Fault struct {
 	// Chain targets an MSA chain by id; "*" targets every chain
 	// (ChainTransient only).
 	Chain string
+	// Op targets a disk-tier operation — "write", "fsync", "rename",
+	// "flip", "read" — or "*" for any (DiskFault only).
+	Op string
 	// Count is the number of failing attempts per database
 	// (Transient) or per chain (ChainTransient).
 	Count int
@@ -45,9 +48,14 @@ type Faults []Fault
 //	                         first count search attempts of the MSA chain
 //	                         fail (default 1); a checkpointed stage retry
 //	                         re-runs only the faulted chain
+//	diskfault:<op>[:count]   first count disk-tier operations of kind op
+//	                         fail (default 1); op is write (torn write),
+//	                         fsync (sync error), rename (crash between
+//	                         temp-write and rename), flip (silent
+//	                         post-write bit flip), or read (I/O error)
 //
-// <db> is a database name and <chain> a chain id; both accept "*" for
-// all. An empty spec parses to nil.
+// <db> is a database name, <chain> a chain id, and <op> a disk-tier
+// operation; all accept "*" for all. An empty spec parses to nil.
 func ParseFaults(spec string) (Faults, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -101,6 +109,19 @@ func ParseFaults(spec string) (Faults, error) {
 				f.Count = n
 			}
 			out = append(out, f)
+		case "diskfault":
+			if len(fields) < 2 || len(fields) > 3 || !validDiskOp(fields[1]) {
+				return nil, fmt.Errorf("resilience: bad fault %q: want diskfault:<write|fsync|rename|flip|read|*>[:count]", part)
+			}
+			f := Fault{Class: DiskFault, Op: fields[1], Count: 1}
+			if len(fields) == 3 {
+				n, err := strconv.Atoi(fields[2])
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("resilience: bad diskfault count in %q", part)
+				}
+				f.Count = n
+			}
+			out = append(out, f)
 		case "memspike":
 			if len(fields) < 2 || len(fields) > 3 {
 				return nil, fmt.Errorf("resilience: bad fault %q: want memspike:<gib>[:after]", part)
@@ -140,9 +161,21 @@ func (fs Faults) String() string {
 			parts = append(parts, fmt.Sprintf("memspike:%g:%d", f.GiB, f.AfterDB))
 		case ChainTransient:
 			parts = append(parts, fmt.Sprintf("chainfault:%s:%d", f.Chain, f.Count))
+		case DiskFault:
+			parts = append(parts, fmt.Sprintf("diskfault:%s:%d", f.Op, f.Count))
 		}
 	}
 	return strings.Join(parts, ",")
+}
+
+// validDiskOp reports whether op names a disk-tier operation the injector
+// understands.
+func validDiskOp(op string) bool {
+	switch op {
+	case "write", "fsync", "rename", "flip", "read", "*":
+		return true
+	}
+	return false
 }
 
 // Injector turns a fault spec into per-attempt decisions. All state is
@@ -169,6 +202,13 @@ type Injector struct {
 	chainMu       sync.Mutex
 	chainRem      map[string]int
 	chainWildcard int
+
+	// Disk-op fault budgets. Disk-tier operations race across serving
+	// workers (every MSA worker may spill or read through concurrently),
+	// so these carry their own lock.
+	diskMu       sync.Mutex
+	diskRem      map[string]int
+	diskWildcard int
 }
 
 // NewInjector builds the injector for one run. src seeds the backoff
@@ -183,10 +223,17 @@ func NewInjector(fs Faults, src *rng.Source) *Injector {
 		transient: make(map[string]int),
 		permanent: make(map[string]bool),
 		chainRem:  make(map[string]int),
+		diskRem:   make(map[string]int),
 		spikeAt:   -1,
 	}
 	for _, f := range fs {
 		switch f.Class {
+		case DiskFault:
+			if f.Op == "*" {
+				inj.diskWildcard += f.Count
+			} else {
+				inj.diskRem[f.Op] += f.Count
+			}
 		case ChainTransient:
 			if f.Chain == "*" {
 				inj.chainWildcard += f.Count
@@ -260,6 +307,41 @@ func (i *Injector) ChainFault(chain string, attempt int) error {
 		return &FaultError{Class: ChainTransient, DB: "chain/" + chain, Attempt: attempt}
 	}
 	return nil
+}
+
+// DiskFault decides the fate of one disk-tier operation of kind op
+// ("write", "fsync", "rename", "flip", "read"). It returns nil for success
+// or a *FaultError with class DiskFault; the disk store interprets the
+// fault per op (a torn write, a skipped rename, a silent bit flip, ...).
+// Budgets are consumed per call and persist for the injector's lifetime,
+// so retries eventually succeed once the budget is spent. Safe for
+// concurrent use (serving workers hit the disk tier in parallel).
+func (i *Injector) DiskFault(op string) error {
+	if i == nil {
+		return nil
+	}
+	i.diskMu.Lock()
+	defer i.diskMu.Unlock()
+	rem, seen := i.diskRem[op]
+	if !seen && i.diskWildcard > 0 {
+		rem = i.diskWildcard
+		i.diskRem[op] = rem
+	}
+	if rem > 0 {
+		i.diskRem[op] = rem - 1
+		return &FaultError{Class: DiskFault, DB: "disk/" + op}
+	}
+	return nil
+}
+
+// HasDiskFaults reports whether the spec carries any disk-op faults.
+func (i *Injector) HasDiskFaults() bool {
+	if i == nil {
+		return false
+	}
+	i.diskMu.Lock()
+	defer i.diskMu.Unlock()
+	return i.diskWildcard > 0 || len(i.diskRem) > 0
 }
 
 // HasChainFaults reports whether the spec carries any chain-scoped

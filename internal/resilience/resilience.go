@@ -47,6 +47,12 @@ const (
 	// serving layer's checkpointed stage retries (only the faulted chain
 	// re-runs; completed chains replay from the checkpoint).
 	ChainTransient
+	// DiskFault fails operations of the persistent cache tier: torn writes,
+	// fsync errors, crashes between temp-write and rename, silent post-write
+	// bit flips, and read I/O errors. The disk store retries transient ops,
+	// detects silent corruption by checksum, and trips its breaker into
+	// memory-only mode when the disk stays broken.
+	DiskFault
 )
 
 // String implements fmt.Stringer.
@@ -62,6 +68,8 @@ func (c Class) String() string {
 		return "memspike"
 	case ChainTransient:
 		return "chainfault"
+	case DiskFault:
+		return "diskfault"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
@@ -80,14 +88,14 @@ func (e *FaultError) Error() string {
 }
 
 // IsTransient reports whether err is an injected transient fault —
-// a read fault that clears after a bounded number of attempts, or a
-// chain-scoped transient (both are worth retrying).
+// a read fault that clears after a bounded number of attempts, a
+// chain-scoped transient, or a disk-op fault (all are worth retrying).
 func IsTransient(err error) bool {
 	var fe *FaultError
 	if !errors.As(err, &fe) {
 		return false
 	}
-	return fe.Class == Transient || fe.Class == ChainTransient
+	return fe.Class == Transient || fe.Class == ChainTransient || fe.Class == DiskFault
 }
 
 // IsPermanent reports whether err is an injected permanent fault.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"afsysbench/internal/cache"
+	"afsysbench/internal/cachedisk"
 	"afsysbench/internal/resilience"
 	"afsysbench/internal/stats"
 )
@@ -46,7 +47,11 @@ type MetricsSnapshot struct {
 	Counters map[string]int64 `json:"counters"`
 	Gauges   map[string]int64 `json:"gauges,omitempty"`
 	Cache    cache.Stats      `json:"cache"`
-	Latency  Percentiles      `json:"latency"`
+	// DiskCache is the persistent tier's counter snapshot (nil when the
+	// tier is disabled). Degraded inside it marks memory-only mode: the
+	// store's breaker is open and disk I/O is being skipped, not failed.
+	DiskCache *cachedisk.Stats `json:"disk_cache,omitempty"`
+	Latency   Percentiles      `json:"latency"`
 }
 
 // MetricsSnapshot assembles the current metrics view.
@@ -59,12 +64,17 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		}
 	}
 	s.mu.Unlock()
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		Counters: s.cfg.Metrics.Snapshot(),
 		Gauges:   s.cfg.Metrics.Gauges(),
 		Cache:    s.cfg.Cache.Stats(),
 		Latency:  Summarize(walls),
 	}
+	if s.cfg.DiskCache != nil {
+		ds := s.cfg.DiskCache.Stats()
+		snap.DiskCache = &ds
+	}
+	return snap
 }
 
 // Summarize reduces a millisecond latency series to its percentiles.

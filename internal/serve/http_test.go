@@ -105,8 +105,11 @@ func TestHTTPLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := decodeBody[MetricsSnapshot](t, resp)
-	if m.Counters["requests_completed"] != 1 || m.Cache.Misses != 1 {
+	if m.Counters["requests_completed"] != 1 || m.Cache.Misses != 3 {
 		t.Fatalf("metrics = %+v", m)
+	}
+	if m.DiskCache != nil {
+		t.Fatalf("disk tier stats present without a disk tier: %+v", m.DiskCache)
 	}
 	if m.Latency.Count != 1 || m.Latency.P99Ms <= 0 {
 		t.Fatalf("latency summary = %+v", m.Latency)

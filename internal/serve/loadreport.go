@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"afsysbench/internal/cache"
+	"afsysbench/internal/cachedisk"
 )
 
 // LoadStats is the measured outcome of driving one server configuration
@@ -25,6 +26,17 @@ type LoadStats struct {
 	ShedRate     float64     `json:"shed_rate"`
 	CacheHitRate float64     `json:"cache_hit_rate"`
 	Cache        cache.Stats `json:"cache"`
+	// Chain-level two-tier breakdown: every MSA chain of the run was
+	// served by the memory tier, the disk tier, or a fresh search.
+	// MemHitRate and DiskHitRate are each tier's fraction of chain
+	// lookups.
+	ChainMemHits  int64   `json:"chain_mem_hits,omitempty"`
+	ChainDiskHits int64   `json:"chain_disk_hits,omitempty"`
+	ChainFresh    int64   `json:"chain_fresh,omitempty"`
+	MemHitRate    float64 `json:"mem_hit_rate,omitempty"`
+	DiskHitRate   float64 `json:"disk_hit_rate,omitempty"`
+	// Disk is the persistent tier's counter snapshot (nil without one).
+	Disk *cachedisk.Stats `json:"disk,omitempty"`
 	// Modeled virtual-time accounting for the same trace: the phase-split
 	// makespan at the run's pool sizes, the serial (stock) makespan, and
 	// their ratio.
@@ -46,11 +58,25 @@ type LoadReport struct {
 	CacheMB     int    `json:"cache_mb"`
 	Seed        uint64 `json:"seed"`
 
+	// CacheDir is the persistent tier's directory ("" without one).
+	CacheDir string `json:"cache_dir,omitempty"`
+
+	// Warm is the optional precompute pass that filled the disk tier
+	// before measurement; WithCache the measured chain-keyed (two-tier
+	// when a disk is attached) pass; NoCache the cache-disabled pass; and
+	// Baseline the request-keyed memory-only pass that chains are only
+	// shared within identical requests.
+	Warm      *LoadStats `json:"warm,omitempty"`
 	WithCache *LoadStats `json:"with_cache,omitempty"`
 	NoCache   *LoadStats `json:"no_cache,omitempty"`
+	Baseline  *LoadStats `json:"request_keyed_baseline,omitempty"`
 	// ThroughputSpeedup is with-cache throughput over no-cache throughput
-	// (>1 means the cache pays for itself).
-	ThroughputSpeedup float64 `json:"throughput_speedup,omitempty"`
+	// (>1 means the cache pays for itself). MakespanImprovement is the
+	// request-keyed baseline's modeled makespan over the chain-keyed
+	// pass's — the deployment-scale value of sharing chains across
+	// complexes on an all-vs-all screening mix.
+	ThroughputSpeedup   float64 `json:"throughput_speedup,omitempty"`
+	MakespanImprovement float64 `json:"modeled_makespan_improvement,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.

@@ -157,8 +157,11 @@ func (s *Server) breakerPlan(job *Job) (skip map[string]bool, probes []string) {
 // Only a freshly computed phase is evidence: a database the stage dropped
 // (KindDropDB) counts as a failure for its breaker, and every needed,
 // non-skipped database that survived counts as a success. A failed stage
-// or a cache hit says nothing about database health, so outstanding probe
-// tokens are returned for the next request to spend.
+// or a full cache hit (every chain served from a cache tier) says nothing
+// about database health, so outstanding probe tokens are returned for the
+// next request to spend. A partially cached stage settles all needed
+// databases — chains replayed from the cache vouch for theirs by proxy,
+// since the cached delta was computed from them.
 func (s *Server) feedBreakers(job *Job, mp *core.MSAPhase, hit bool, err error, skip map[string]bool, probes []string) {
 	if len(s.breakers) == 0 {
 		return

@@ -34,13 +34,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"afsysbench/internal/cache"
+	"afsysbench/internal/cachedisk"
 	"afsysbench/internal/core"
 	"afsysbench/internal/inputs"
 	"afsysbench/internal/metering"
@@ -116,9 +116,23 @@ type Config struct {
 	// QueueDepth bounds the admission queue; a submit that finds it full
 	// is shed with resilience.ErrOverloaded.
 	QueueDepth int
-	// Cache is the content-addressed MSA/feature cache; nil disables
-	// caching (every request pays its MSA search).
+	// Cache is the content-addressed MSA cache, keyed per chain: two
+	// requests sharing a chain sequence share its search, even when the
+	// complexes differ. nil disables caching (every request pays its MSA
+	// search).
 	Cache *cache.Cache
+	// DiskCache is the crash-safe persistent tier under Cache: chain
+	// entries evicted from memory spill to it, and memory misses read
+	// through it before recomputing. A corrupt or unreadable disk entry
+	// is a miss, never an error, and a disk that stays dark trips the
+	// store's breaker into memory-only mode. nil disables the tier;
+	// it needs Cache to be useful (the hook only runs on memory misses).
+	DiskCache *cachedisk.Store
+	// RequestScopedKeys folds the whole request fingerprint into every
+	// chain cache key, disabling cross-request chain sharing — chains are
+	// only reused by requests for the identical complex. This is the
+	// request-keyed baseline the two-tier benchmark compares against.
+	RequestScopedKeys bool
 	// DefaultTimeout is the per-request wall deadline when the request
 	// does not set one (0 = none).
 	DefaultTimeout time.Duration
@@ -223,22 +237,36 @@ type Job struct {
 	// checkpoint preserves completed MSA chain deltas across stage
 	// retries (nil when MSAAttempts is 1).
 	checkpoint *msa.Checkpoint
-	// chargedMSASeconds is the modeled MSA time this request actually paid:
-	// the phase time on a miss, zero on a cache hit (the fetch is free at
-	// model scale). The modeled scheduler and the per-job status use it.
+	// chargedMSASeconds is the modeled MSA time this request actually
+	// paid: the phase time scaled by the fresh-work share of its chains.
+	// A fully cached request charges zero, a partial hit pays only its
+	// fresh chains. The modeled scheduler and the per-job status use it.
 	chargedMSASeconds float64
 	wallSeconds       float64
+	// chainsMem/chainsDisk/chainsFresh count where this request's MSA
+	// chains came from: the memory tier, the disk tier, or a real search.
+	chainsMem   int
+	chainsDisk  int
+	chainsFresh int
 }
 
 // JobStatus is a point-in-time snapshot of one job, also the HTTP
 // status-endpoint payload.
 type JobStatus struct {
-	ID       string `json:"id"`
-	Sample   string `json:"sample"`
-	State    string `json:"state"`
-	CacheHit bool   `json:"cache_hit"`
-	// MSASeconds is the modeled MSA time charged to this request (0 on a
-	// cache hit); InferenceSeconds the modeled inference time.
+	ID     string `json:"id"`
+	Sample string `json:"sample"`
+	State  string `json:"state"`
+	// CacheHit marks a fully cached request: every MSA chain came from a
+	// cache tier and no database was searched.
+	CacheHit bool `json:"cache_hit"`
+	// ChainsMem/ChainsDisk/ChainsFresh split the request's MSA chains by
+	// origin: memory-tier hit, disk-tier hit, fresh search.
+	ChainsMem   int `json:"chains_mem,omitempty"`
+	ChainsDisk  int `json:"chains_disk,omitempty"`
+	ChainsFresh int `json:"chains_fresh,omitempty"`
+	// MSASeconds is the modeled MSA time charged to this request (the
+	// fresh-work share of the phase time; 0 on a full cache hit);
+	// InferenceSeconds the modeled inference time.
 	MSASeconds       float64 `json:"msa_seconds"`
 	InferenceSeconds float64 `json:"inference_seconds"`
 	Degraded         bool    `json:"degraded,omitempty"`
@@ -306,6 +334,11 @@ func NewWithSuite(suite *core.Suite, cfg Config) *Server {
 	}
 	s.idle.L = &s.mu
 	s.initBreakers()
+	if cfg.Cache != nil && cfg.DiskCache != nil {
+		// Spill-on-eviction: a chain pushed out of the memory LRU is
+		// written through to the persistent tier instead of being lost.
+		cfg.Cache.SetOnEvict(s.spillChain)
+	}
 	if cfg.Hedge.Enabled {
 		s.hedge = newHedgeEstimator(cfg.Hedge)
 	}
@@ -472,10 +505,13 @@ func (s *Server) Statuses() []JobStatus {
 
 func (s *Server) statusLocked(job *Job) JobStatus {
 	st := JobStatus{
-		ID:       job.id,
-		Sample:   job.in.Name,
-		State:    job.state.String(),
-		CacheHit: job.cacheHit,
+		ID:          job.id,
+		Sample:      job.in.Name,
+		State:       job.state.String(),
+		CacheHit:    job.cacheHit,
+		ChainsMem:   job.chainsMem,
+		ChainsDisk:  job.chainsDisk,
+		ChainsFresh: job.chainsFresh,
 	}
 	if job.err != nil {
 		st.Error = job.err.Error()
@@ -523,33 +559,144 @@ func (s *Server) pipelineOpts(job *Job) core.PipelineOptions {
 	}
 }
 
-// msaKey is the content address of a request's MSA phase: everything that
-// determines the phase result goes in — the query content, the database
-// set identity (msa.DBSet.Fingerprint), the machine the storage/CPU models
-// replay on, the thread count that shapes the scan, the suite seed behind
-// the timing model, the stage budget that can trigger degradation, and the
-// breaker skip set (a partial result computed around an open breaker must
-// never be served to a request with the full profile, or vice versa).
-func (s *Server) msaKey(job *Job, skip map[string]bool) string {
-	skipSig := "none"
-	if len(skip) > 0 {
-		names := make([]string, 0, len(skip))
-		for name := range skip {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		skipSig = strings.Join(names, "+")
-	}
-	return cache.Key(
-		"msa-phase/v1",
-		inputFingerprint(job.in),
+// chainCodecGob identifies the gob-encoded msa.CachedChain payload format
+// in the persistent tier's entry headers. Bump when the wire struct
+// changes; entries with an unknown codec are dropped at read time.
+const chainCodecGob uint16 = 1
+
+// chainKey is the content address of one chain's MSA search: everything
+// that determines the chain delta goes in — the chain content
+// (msa.ChainFingerprint: type and residues, independent of the per-complex
+// label), the database-set identity, the database profile the stage plans
+// against (scope covers both breaker skips and the degradation ladder, so
+// a delta searched under a reduced profile is never served for the full
+// one), the thread count that shards the scan, and the scan-engine
+// options. The machine and suite seed are deliberately absent: a chain
+// delta is platform-independent (the machine models replay it later) and
+// the search itself is deterministic. With RequestScopedKeys the whole
+// request fingerprint is folded in, confining reuse to identical requests.
+func (s *Server) chainKey(job *Job, scope string, chain inputs.Chain) string {
+	parts := []string{
+		"msa-chain/v2",
+		msa.ChainFingerprint(chain),
 		s.suite.DBs.Fingerprint(),
-		job.machine.Name,
+		"scope=" + scope,
 		strconv.Itoa(job.threads),
-		fmt.Sprintf("seed=%x", s.suite.Seed),
-		fmt.Sprintf("budget=%g", s.cfg.Budget.MSASeconds),
-		"skip="+skipSig,
-	)
+		fmt.Sprintf("search=%+v", s.suite.Search),
+	}
+	if s.cfg.RequestScopedKeys {
+		parts = append(parts, "req="+inputFingerprint(job.in))
+	}
+	return cache.Key(parts...)
+}
+
+// chainFetcher builds the job's msa.ChainFetch hook: memory tier first
+// (with singleflight across concurrent identical chains), then the disk
+// tier, then the real search. Tier accounting lands on the job and the
+// metrics registry.
+func (s *Server) chainFetcher(job *Job) msa.ChainFetch {
+	return func(scope string, chain inputs.Chain, compute func() (*msa.CachedChain, error)) (*msa.CachedChain, bool, error) {
+		key := s.chainKey(job, scope, chain)
+		fromDisk := false
+		v, hit, err := s.cfg.Cache.GetOrCompute(key, func() (any, int64, error) {
+			if cc := s.diskLookup(key); cc != nil {
+				fromDisk = true
+				return cc, cc.SizeBytes(), nil
+			}
+			cc, err := compute()
+			if err != nil {
+				return nil, 0, err
+			}
+			return cc, cc.SizeBytes(), nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		cc := v.(*msa.CachedChain)
+		var counter string
+		s.mu.Lock()
+		switch {
+		case hit:
+			job.chainsMem++
+			counter = "msa_chain_mem_hits"
+		case fromDisk:
+			job.chainsDisk++
+			counter = "msa_chain_disk_hits"
+		default:
+			job.chainsFresh++
+			counter = "msa_chain_misses"
+		}
+		s.mu.Unlock()
+		s.cfg.Metrics.Add(counter, 1)
+		return cc, hit || fromDisk, nil
+	}
+}
+
+// diskLookup reads one chain entry through the persistent tier. Every
+// failure mode — a miss, a tripped breaker, a corrupt file, an
+// undecodable payload — returns nil, never an error: the disk tier can
+// only ever save work. A payload that passes the store's checksum but
+// fails to decode is semantic corruption (e.g. a format drift), so the
+// entry is dropped to be rebuilt.
+func (s *Server) diskLookup(key string) *msa.CachedChain {
+	payload, codec, ok := s.cfg.DiskCache.Get(key)
+	if !ok {
+		return nil
+	}
+	if codec != chainCodecGob {
+		s.cfg.DiskCache.Drop(key)
+		return nil
+	}
+	cc, err := msa.DecodeCachedChain(payload)
+	if err != nil {
+		s.cfg.DiskCache.Drop(key)
+		s.cfg.Metrics.Add("msa_chain_disk_decode_drops", 1)
+		return nil
+	}
+	return cc
+}
+
+// spillChain is the memory cache's eviction hook: a chain pushed out of
+// the LRU is written through to the disk tier. Best-effort — a failed or
+// degraded spill just means a future miss, never an error.
+func (s *Server) spillChain(key string, val any, size int64) {
+	cc, ok := val.(*msa.CachedChain)
+	if !ok {
+		return
+	}
+	payload, err := cc.Encode()
+	if err != nil {
+		return
+	}
+	_ = s.cfg.DiskCache.Put(key, chainCodecGob, payload)
+	s.cfg.Metrics.Add("msa_chain_spills", 1)
+}
+
+// SpillCache flushes every chain entry currently resident in the memory
+// tier to the disk tier and returns how many were written (entries the
+// disk already holds count — Put is idempotent). This is the afload -warm
+// precompute path: fill the persistent tier from a trace now so a later
+// cold-memory run starts against a warm disk.
+func (s *Server) SpillCache() int {
+	if s.cfg.Cache == nil || s.cfg.DiskCache == nil {
+		return 0
+	}
+	n := 0
+	s.cfg.Cache.Range(func(key string, val any, size int64) bool {
+		cc, ok := val.(*msa.CachedChain)
+		if !ok {
+			return true
+		}
+		payload, err := cc.Encode()
+		if err != nil {
+			return true
+		}
+		if s.cfg.DiskCache.Put(key, chainCodecGob, payload) == nil {
+			n++
+		}
+		return true
+	})
+	return n
 }
 
 // inputFingerprint serializes the content of an input that the MSA phase
@@ -660,38 +807,51 @@ func (s *Server) runMSA(job *Job, stage *string) {
 		opts.ChainDone = s.hedge.observe
 		opts.HedgeAfter = s.hedge.budget()
 	}
+	if s.cfg.Cache != nil {
+		opts.ChainCache = s.chainFetcher(job)
+	}
 	var mp *core.MSAPhase
-	v, hit, err := s.cfg.Cache.GetOrCompute(s.msaKey(job, skip), func() (any, int64, error) {
-		for attempt := 1; ; attempt++ {
-			m, err := s.suite.RunMSAPhase(ctx, job.in, job.machine, opts)
-			if err == nil {
-				if attempt > 1 {
-					restored := 0
-					if m.Data != nil {
-						restored = m.Data.RestoredChains
-					}
-					m.Resilience.Record(resilience.Event{
-						Stage: "msa", Kind: resilience.KindChainRetry,
-						Detail: fmt.Sprintf("stage attempt %d succeeded; %d chains replayed from checkpoint", attempt, restored),
-					})
+	var err error
+	for attempt := 1; ; attempt++ {
+		mp, err = s.suite.RunMSAPhase(ctx, job.in, job.machine, opts)
+		if err == nil {
+			if attempt > 1 {
+				restored := 0
+				if mp.Data != nil {
+					restored = mp.Data.RestoredChains
 				}
-				return m, m.SizeBytes(), nil
+				mp.Resilience.Record(resilience.Event{
+					Stage: "msa", Kind: resilience.KindChainRetry,
+					Detail: fmt.Sprintf("stage attempt %d succeeded; %d chains replayed from checkpoint", attempt, restored),
+				})
 			}
-			if attempt >= s.cfg.MSAAttempts || !resilience.IsTransient(err) || ctx.Err() != nil {
-				return nil, 0, err
-			}
-			s.cfg.Metrics.Add("msa_stage_retries", 1)
+			break
 		}
-	})
+		if attempt >= s.cfg.MSAAttempts || !resilience.IsTransient(err) || ctx.Err() != nil {
+			break
+		}
+		s.cfg.Metrics.Add("msa_stage_retries", 1)
+	}
+	// A request is a cache hit when every chain came from a cache tier —
+	// no database was searched on its behalf. Charged MSA seconds scale by
+	// the fresh-work share: the phase time is cache-independent (the
+	// determinism contract), but a request whose chains were largely
+	// replayed only occupies a CPU lane for the work it really added.
+	hit := false
+	var charged float64
 	if err == nil {
-		mp = v.(*core.MSAPhase)
+		charged = mp.Seconds
+		if d := mp.Data; d != nil && d.CachedWork > 0 {
+			hit = d.FreshWork == 0
+			charged = mp.Seconds * float64(d.FreshWork) / float64(d.FreshWork+d.CachedWork)
+		}
 	}
 	s.feedBreakers(job, mp, hit, err, skip, probes)
 	if err != nil {
 		s.fail(job, err)
 		return
 	}
-	if !hit && mp.Data != nil {
+	if mp.Data != nil {
 		if mp.Data.Hedges > 0 {
 			s.cfg.Metrics.Add("msa_hedges", int64(mp.Data.Hedges))
 			s.cfg.Metrics.Add("msa_hedge_backup_wins", int64(mp.Data.HedgeBackupWins))
@@ -704,11 +864,7 @@ func (s *Server) runMSA(job *Job, stage *string) {
 	job.msaPhase = mp
 	job.cacheHit = hit
 	job.partialMSA = len(skip) > 0
-	if hit {
-		job.chargedMSASeconds = 0
-	} else {
-		job.chargedMSASeconds = mp.Seconds
-	}
+	job.chargedMSASeconds = charged
 	s.mu.Unlock()
 	if hit {
 		s.cfg.Metrics.Add("msa_cache_hits", 1)

@@ -100,6 +100,9 @@ func TestDeterminismAcrossPoolSizes(t *testing.T) {
 
 // TestCacheHitAccounting checks that repeats of a query are served from
 // the cache and charged zero MSA seconds, while distinct queries miss.
+// The cache is chain-keyed: 1YY9 and promo each carry three protein
+// chains, so the two first sightings pay six chain searches and the two
+// repeats are served six cached chains.
 func TestCacheHitAccounting(t *testing.T) {
 	s := newTestServer(t, Config{Threads: 4, MSAWorkers: 1, Cache: cache.New(0)})
 	statuses := runTrace(t, s, []string{"1YY9", "1YY9", "promo", "1YY9"})
@@ -117,9 +120,15 @@ func TestCacheHitAccounting(t *testing.T) {
 	if statuses[0].MSASeconds <= 0 {
 		t.Fatal("miss charged no MSA seconds")
 	}
+	if statuses[0].ChainsFresh != 3 || statuses[0].ChainsMem != 0 {
+		t.Fatalf("first sighting chains = %+v, want 3 fresh", statuses[0])
+	}
+	if statuses[1].ChainsMem != 3 || statuses[1].ChainsFresh != 0 {
+		t.Fatalf("repeat chains = %+v, want 3 from memory", statuses[1])
+	}
 	st := s.Config().Cache.Stats()
-	if st.Misses != 2 || st.Hits+st.Shared != 2 {
-		t.Fatalf("cache stats = %+v, want 2 misses and 2 served", st)
+	if st.Misses != 6 || st.Hits+st.Shared != 6 {
+		t.Fatalf("cache stats = %+v, want 6 chain misses and 6 served", st)
 	}
 }
 
@@ -254,9 +263,12 @@ func TestNoGoroutineLeak(t *testing.T) {
 	}
 }
 
-// TestCacheKeyComposition is the satellite regression test: the cache key
-// must cover the database-set identity and the thread count, so a changed
-// database set or thread setting can never be served a stale entry.
+// TestCacheKeyComposition is the satellite regression test: the chain
+// cache key must cover the chain content, the database-set identity, the
+// profile scope and the thread count, so a changed database set, profile
+// or thread setting can never be served a stale entry — while the
+// per-complex chain label and the request identity stay out of it, which
+// is what lets different complexes share a chain.
 func TestCacheKeyComposition(t *testing.T) {
 	in, err := inputs.ByName("1YY9")
 	if err != nil {
@@ -269,15 +281,35 @@ func TestCacheKeyComposition(t *testing.T) {
 	s := NewWithSuite(sharedSuite, Config{})
 	defer s.Stop()
 
-	if s.msaKey(jobAt(4), nil) != s.msaKey(jobAt(4), nil) {
+	chainA, chainB := in.Chains[0], in.Chains[1]
+	if s.chainKey(jobAt(4), "full", chainA) != s.chainKey(jobAt(4), "full", chainA) {
 		t.Fatal("key not stable")
 	}
-	if s.msaKey(jobAt(4), nil) == s.msaKey(jobAt(8), nil) {
+	if s.chainKey(jobAt(4), "full", chainA) == s.chainKey(jobAt(8), "full", chainA) {
 		t.Fatal("key ignores thread count")
+	}
+	if s.chainKey(jobAt(4), "full", chainA) == s.chainKey(jobAt(4), "full", chainB) {
+		t.Fatal("key ignores chain content")
+	}
+	if s.chainKey(jobAt(4), "full", chainA) == s.chainKey(jobAt(4), "uniref_s", chainA) {
+		t.Fatal("key ignores the database profile scope")
+	}
+	// The same chain content under a different label must share the key —
+	// that is the cross-complex reuse the chain tier exists for.
+	relabeled := chainA
+	relabeled.IDs = []string{"Z"}
+	if s.chainKey(jobAt(4), "full", chainA) != s.chainKey(jobAt(4), "full", relabeled) {
+		t.Fatal("key depends on the per-complex chain label")
+	}
+	// Request-scoped keys (the baseline mode) fold the complex in.
+	sScoped := NewWithSuite(sharedSuite, Config{RequestScopedKeys: true})
+	defer sScoped.Stop()
+	if s.chainKey(jobAt(4), "full", chainA) == sScoped.chainKey(jobAt(4), "full", chainA) {
+		t.Fatal("RequestScopedKeys did not change the key")
 	}
 
 	// A server over a different database set must derive a different key
-	// for the same request.
+	// for the same chain.
 	suite2, err := core.NewSuite()
 	if err != nil {
 		t.Fatal(err)
@@ -285,13 +317,13 @@ func TestCacheKeyComposition(t *testing.T) {
 	suite2.DBs.Protein = suite2.DBs.Protein[1:] // drop one database
 	s2 := NewWithSuite(suite2, Config{})
 	defer s2.Stop()
-	if s.msaKey(jobAt(4), nil) == s2.msaKey(jobAt(4), nil) {
+	if s.chainKey(jobAt(4), "full", chainA) == s2.chainKey(jobAt(4), "full", chainA) {
 		t.Fatal("key ignores database-set identity")
 	}
 
 	// Behavioral check: two servers sharing one cache but holding
-	// different database sets must both miss — the changed set can never
-	// be served the other's entry.
+	// different database sets must both miss on every chain — the changed
+	// set can never be served the other's entries.
 	shared := cache.New(0)
 	for _, suite := range []*core.Suite{sharedSuite, suite2} {
 		srv := NewWithSuite(suite, Config{Threads: 4, MSAWorkers: 1, Cache: shared})
@@ -299,7 +331,7 @@ func TestCacheKeyComposition(t *testing.T) {
 		srv.Stop()
 	}
 	st := shared.Stats()
-	if st.Misses != 2 || st.Hits != 0 || st.Shared != 0 {
+	if st.Misses != 6 || st.Hits != 0 || st.Shared != 0 {
 		t.Fatalf("changed DB set was served from cache: %+v", st)
 	}
 }

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"afsysbench/internal/cache"
+	"afsysbench/internal/cachedisk"
+	"afsysbench/internal/resilience"
+	"afsysbench/internal/rng"
+)
+
+func openDiskTier(t *testing.T, dir string, cfg cachedisk.Config) *cachedisk.Store {
+	t.Helper()
+	cfg.Dir = dir
+	st, err := cachedisk.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestChainSharingAcrossComplexes is the point of chain-level keys: two
+// different PPI complexes that share a pool protein reuse its MSA from
+// the memory tier, which a request-keyed cache can never do.
+func TestChainSharingAcrossComplexes(t *testing.T) {
+	s := newTestServer(t, Config{Threads: 4, MSAWorkers: 1, Cache: cache.New(0)})
+	statuses := runTrace(t, s, []string{"ppi-0x3", "ppi-3x7"})
+
+	if statuses[0].ChainsFresh != 2 || statuses[0].ChainsMem != 0 {
+		t.Fatalf("first pair chains = %+v, want 2 fresh", statuses[0])
+	}
+	// Pool protein 3 is shared; protein 7 is new.
+	if statuses[1].ChainsMem != 1 || statuses[1].ChainsFresh != 1 {
+		t.Fatalf("second pair chains = %+v, want 1 memory hit + 1 fresh", statuses[1])
+	}
+	if statuses[1].CacheHit {
+		t.Fatal("partially cached request must not report a full hit")
+	}
+	// The shared chain's work is not charged: the partial request costs
+	// strictly less than its fresh total but more than zero.
+	res, ok := s.Result(statuses[1].ID)
+	if !ok {
+		t.Fatal("no result for second pair")
+	}
+	if statuses[1].MSASeconds <= 0 || statuses[1].MSASeconds >= res.MSASeconds {
+		t.Fatalf("partial hit charged %v of fresh %v, want strictly between",
+			statuses[1].MSASeconds, res.MSASeconds)
+	}
+
+	// The request-keyed baseline mode shares nothing across complexes.
+	b := newTestServer(t, Config{Threads: 4, MSAWorkers: 1, Cache: cache.New(0), RequestScopedKeys: true})
+	bst := runTrace(t, b, []string{"ppi-0x3", "ppi-3x7"})
+	if bst[1].ChainsMem != 0 || bst[1].ChainsFresh != 2 {
+		t.Fatalf("request-keyed baseline shared a chain: %+v", bst[1])
+	}
+}
+
+// TestDiskTierReadThroughAcrossRestart spills the memory tier to disk,
+// simulates a process restart (fresh store over the same directory,
+// fresh memory cache), and checks that a repeat request is served from
+// disk with a bitwise-identical result.
+func TestDiskTierReadThroughAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := newTestServer(t, Config{
+		Threads: 4, MSAWorkers: 1,
+		Cache:     cache.New(0),
+		DiskCache: openDiskTier(t, dir, cachedisk.Config{}),
+	})
+	st1 := runTrace(t, s1, []string{"1YY9"})
+	want := fingerprint(t, s1, st1[0].ID)
+	if n := s1.SpillCache(); n != 3 {
+		t.Fatalf("SpillCache = %d, want 3 chains", n)
+	}
+	s1.Stop()
+	if err := s1.Config().DiskCache.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: new store over the same directory, empty memory tier.
+	s2 := newTestServer(t, Config{
+		Threads: 4, MSAWorkers: 1,
+		Cache:     cache.New(0),
+		DiskCache: openDiskTier(t, dir, cachedisk.Config{}),
+	})
+	st2 := runTrace(t, s2, []string{"1YY9"})
+	if st2[0].State != "done" {
+		t.Fatalf("restart job: %+v", st2[0])
+	}
+	if st2[0].ChainsDisk != 3 || st2[0].ChainsFresh != 0 {
+		t.Fatalf("restart chains = %+v, want 3 disk hits", st2[0])
+	}
+	if !st2[0].CacheHit || st2[0].MSASeconds != 0 {
+		t.Fatalf("fully disk-served request must hit and charge 0: %+v", st2[0])
+	}
+	if got := fingerprint(t, s2, st2[0].ID); got != want {
+		t.Fatalf("disk replay diverged:\n  want %s\n  got  %s", want, got)
+	}
+}
+
+// TestDiskCorruptionIsAMiss corrupts every spilled entry on disk and
+// checks that the server silently recomputes: same result, zero disk
+// hits, corruption counted.
+func TestDiskCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{
+		Threads: 4, MSAWorkers: 1,
+		Cache:     cache.New(0),
+		DiskCache: openDiskTier(t, dir, cachedisk.Config{}),
+	})
+	st1 := runTrace(t, s1, []string{"1YY9"})
+	want := fingerprint(t, s1, st1[0].ID)
+	if s1.SpillCache() != 3 {
+		t.Fatal("spill failed")
+	}
+	s1.Stop()
+	if err := s1.Config().DiskCache.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in every entry payload.
+	ents, err := filepath.Glob(filepath.Join(dir, "objects", "*.ent"))
+	if err != nil || len(ents) != 3 {
+		t.Fatalf("expected 3 entries, got %d (%v)", len(ents), err)
+	}
+	for _, p := range ents {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)-1] ^= 0xFF
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := newTestServer(t, Config{
+		Threads: 4, MSAWorkers: 1,
+		Cache:     cache.New(0),
+		DiskCache: openDiskTier(t, dir, cachedisk.Config{}),
+	})
+	st2 := runTrace(t, s2, []string{"1YY9"})
+	if st2[0].State != "done" {
+		t.Fatalf("job over corrupt tier: %+v", st2[0])
+	}
+	if st2[0].ChainsDisk != 0 || st2[0].ChainsFresh != 3 {
+		t.Fatalf("corrupt entries must read as misses: %+v", st2[0])
+	}
+	if got := fingerprint(t, s2, st2[0].ID); got != want {
+		t.Fatalf("recompute over corrupt tier diverged:\n  want %s\n  got  %s", want, got)
+	}
+	ds := s2.Config().DiskCache.Stats()
+	if ds.CorruptDropped == 0 {
+		t.Fatalf("corruption not counted: %+v", ds)
+	}
+}
+
+// TestSustainedDiskFailureDegradesToMemory runs the server over a disk
+// that fails every operation: the store's breaker must open and the
+// server must keep answering every request correctly from memory alone.
+func TestSustainedDiskFailureDegradesToMemory(t *testing.T) {
+	fs, err := resilience.ParseFaults("diskfault:*:100000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := openDiskTier(t, t.TempDir(), cachedisk.Config{
+		Injector:         resilience.NewInjector(fs, rng.New(7)),
+		BreakerThreshold: 2,
+	})
+	s := newTestServer(t, Config{
+		Threads: 4, MSAWorkers: 1,
+		Cache:     cache.New(0),
+		DiskCache: store,
+	})
+	statuses := runTrace(t, s, []string{"1YY9", "promo", "1YY9"})
+	for _, st := range statuses {
+		if st.State != "done" {
+			t.Fatalf("request failed under dark disk: %+v", st)
+		}
+	}
+	if !statuses[2].CacheHit {
+		t.Fatal("memory tier must still serve repeats")
+	}
+	s.SpillCache() // must not panic or fail requests either
+	if !store.Degraded() {
+		t.Fatalf("breaker never opened: %+v", store.Stats())
+	}
+	if ds := store.Stats(); ds.DegradedOps == 0 {
+		t.Fatalf("degraded ops not counted: %+v", ds)
+	}
+}
