@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race faults chaos chaos-disk bench bench-msa bench-msa-smoke swar-smoke serve-bench serve-smoke
+.PHONY: all build test check fmt vet race faults chaos chaos-disk chaos-cluster cluster-smoke bench bench-msa bench-msa-smoke swar-smoke serve-bench serve-smoke cluster-bench
 
 all: build
 
@@ -31,7 +31,7 @@ vet:
 # MSV/band reject-only proofs, plus testdata regression entries) replay
 # under the race detector on every gate.
 race:
-	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion ./internal/cache ./internal/serve ./internal/msa
+	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion ./internal/cache ./internal/serve ./internal/msa ./internal/cluster
 	$(GO) test -race -run 'Test|Fuzz' ./internal/hmmer ./internal/cachedisk
 
 # Fault-injection and degradation suite under the race detector: the
@@ -61,7 +61,28 @@ chaos:
 chaos-disk:
 	$(GO) run -race ./cmd/afload -chaos-disk -seed 11 -ppi 4 -concurrency 4 -threads 2 -msa-workers 4 -gpu-workers 2
 
-check: fmt vet test race faults chaos chaos-disk swar-smoke bench-msa-smoke serve-smoke
+# Cluster kill-storm gate under the race detector: a seeded trace through
+# the sharded scatter-gather tier behind the replica router while two whole
+# shard nodes and one serving replica are killed mid-storm — asserting zero
+# wrong results (every digest matches the single-node reference), zero lost
+# requests, counted shard and router failovers, survivors at full strength,
+# and no goroutine leak. A failure reproduces with the printed flag line.
+chaos-cluster:
+	$(GO) run -race ./cmd/afcluster -chaos -seed 13 -shards 8 -replicas 3 -n 40 -mix 2PV7:3,1YY9:2 -threads 2 -msa-workers 2 -gpu-workers 1
+
+# Cluster smoke for the check gate: the tiny end-to-end scaling sweep —
+# reference pass, live scatter-gather cluster, digest verification, the
+# modeled shard-efficiency curve with its 0.8 gate at 16 shards.
+cluster-smoke:
+	$(GO) test -run 'TestScalingRunSmoke' -count 1 ./cmd/afcluster
+
+check: fmt vet test race faults chaos chaos-disk chaos-cluster cluster-smoke swar-smoke bench-msa-smoke serve-smoke
+
+# Cluster scaling benchmark: the full shards × replicas sweep merged into
+# BENCH_serve.json as the cluster_scaling section (run serve-bench first so
+# the single-node sections are fresh in the same file).
+cluster-bench:
+	$(GO) run ./cmd/afcluster -shards 8 -replicas 3 -n 24 -mix 2PV7:3,1YY9:2,6QNR:1 -json BENCH_serve.json
 
 # Kernel microbenchmarks with allocation tracking (serial vs parallel).
 bench:

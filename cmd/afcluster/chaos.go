@@ -1,0 +1,190 @@
+// The cluster kill-storm gate (`afcluster -chaos`, wired as `make
+// chaos-cluster`): drive a seeded trace through the full scale-out stack
+// while whole shard nodes and a serving replica are killed mid-storm, and
+// assert the blast radius stayed contained:
+//
+//   - zero wrong results — every completed request's digest matches the
+//     single-node reference, kills or not (the scatter determinism
+//     contract under fire);
+//   - zero lost requests — the router failed every affected request over
+//     to surviving replicas/nodes;
+//   - the degradation was COUNTED — shard failovers and router failovers
+//     both nonzero, because a resilience layer that cannot see its own
+//     failovers cannot be monitored;
+//   - surviving replicas at full worker strength, killed ones rejected;
+//   - no goroutine leaks once the storm drains.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"afsysbench/internal/core"
+	"afsysbench/internal/serve"
+)
+
+const (
+	// killNodeA/killNodeB are the shard nodes killed mid-storm (the rig
+	// keeps N ≥ 3 so shards always have a surviving owner); victimReplica
+	// is the serving replica killed while it has requests in flight.
+	killNodeA     = 2
+	killNodeB     = 5
+	victimReplica = 1
+)
+
+func runChaos(o options) int {
+	if o.shards < 3 {
+		fmt.Fprintln(os.Stderr, "afcluster -chaos: need -shards ≥ 3 (two nodes die)")
+		return 2
+	}
+	if o.replicas < 2 {
+		fmt.Fprintln(os.Stderr, "afcluster -chaos: need -replicas ≥ 2 (one replica dies)")
+		return 2
+	}
+	var violations []string
+	baseline := runtime.NumGoroutine()
+
+	samples, weights, err := parseMix(o.mix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afcluster -chaos: %v\n", err)
+		return 2
+	}
+	trace := buildTrace(samples, weights, o.n, o.seed)
+	suite, err := core.NewSuite()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afcluster -chaos: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "chaos-cluster: reference pass (%d distinct samples)\n", len(samples))
+	digests, _, err := reference(suite, trace, o.threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afcluster -chaos: reference: %v\n", err)
+		return 2
+	}
+
+	fmt.Fprintf(os.Stderr, "chaos-cluster: storm — %d requests over %d shards × %d replicas, killing nodes %d,%d and replica %d\n",
+		o.n, o.shards, o.replicas, killNodeA, killNodeB, victimReplica)
+	rig := buildRig(suite, o, serve.HedgeConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+
+	// Kill triggers: node A after a third of the trace completes, node B
+	// plus the victim replica after half. The replica kill waits (briefly)
+	// for in-flight work on the victim so the death actually strands
+	// requests mid-stage instead of hitting an idle server.
+	killsDone := make(chan struct{})
+	progress := make(chan int, o.n)
+	go func() {
+		defer close(killsDone)
+		first, second := o.n/3, o.n/2
+		done := 0
+		killedA, killedB := false, false
+		for range progress {
+			done++
+			if !killedA && done >= first {
+				rig.cl.KillNode(killNodeA)
+				killedA = true
+			}
+			if !killedB && done >= second {
+				deadline := time.Now().Add(2 * time.Second)
+				for rig.router.Outstanding(victimReplica) == 0 && time.Now().Before(deadline) {
+					time.Sleep(200 * time.Microsecond)
+				}
+				rig.cl.KillNode(killNodeB)
+				rig.router.Kill(victimReplica)
+				killedB = true
+			}
+		}
+	}()
+	workers := o.concurrency
+	if workers <= 0 {
+		workers = 2 * o.replicas * o.msaWorkers
+	}
+	results, errs := rig.drive(ctx, trace, o.threads, workers, func(int) { progress <- 1 })
+	close(progress)
+	<-killsDone
+	cancel()
+
+	// Invariant: every request completed with the reference digest.
+	wrong, lost := 0, 0
+	for i := range results {
+		if errs[i] != nil {
+			lost++
+			if lost <= 3 {
+				violations = append(violations, fmt.Sprintf("request %d (%s) lost: %v", i, trace[i], errs[i]))
+			}
+			continue
+		}
+		if results[i].Result == nil {
+			lost++
+			continue
+		}
+		if resultDigest(results[i].Result) != digests[trace[i]] {
+			wrong++
+			if wrong <= 3 {
+				violations = append(violations, fmt.Sprintf("request %d (%s): WRONG RESULT after kill storm", i, trace[i]))
+			}
+		}
+	}
+	if lost > 3 {
+		violations = append(violations, fmt.Sprintf("… and %d more lost requests", lost-3))
+	}
+
+	// Invariant: the degradation was counted, node by node.
+	clStats := rig.cl.Stats()
+	rtStats := rig.router.Stats()
+	if clStats.Failovers == 0 {
+		violations = append(violations, "two shard nodes died but cluster stats count zero failovers")
+	}
+	if rtStats.Failovers == 0 && rtStats.ShedReroutes == 0 {
+		violations = append(violations, "a replica died mid-storm but router stats count zero failovers/reroutes")
+	}
+	if !clStats.PerNode[killNodeA].Killed || !clStats.PerNode[killNodeB].Killed {
+		violations = append(violations, "killed shard nodes not marked in per-node stats")
+	}
+	if rig.cl.AliveNodes() != o.shards-2 {
+		violations = append(violations, fmt.Sprintf("alive nodes = %d, want %d", rig.cl.AliveNodes(), o.shards-2))
+	}
+
+	// Invariant: survivors at full strength, the victim rejecting.
+	for i, srv := range rig.replicas {
+		if i == victimReplica {
+			if !srv.Killed() {
+				violations = append(violations, "victim replica not marked killed")
+			}
+			if _, err := srv.Submit(serve.Request{Sample: trace[0]}); err == nil {
+				violations = append(violations, "killed replica accepted a submission after the storm")
+			}
+			continue
+		}
+		if ph := srv.PoolHealth(); !ph.FullStrength() {
+			violations = append(violations, fmt.Sprintf("surviving replica %d pool degraded: %+v", i, ph))
+		}
+	}
+
+	rig.stop()
+
+	// Invariant: no goroutine leaks once the storm drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > baseline {
+		violations = append(violations, fmt.Sprintf("goroutine leak: %d before storm, %d after drain", baseline, now))
+	}
+
+	fmt.Fprintf(os.Stderr, "chaos-cluster: %d requests, %d wrong, %d lost; shard failovers=%d, router failovers=%d, shed reroutes=%d\n",
+		o.n, wrong, lost, clStats.Failovers, rtStats.Failovers, rtStats.ShedReroutes)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "VIOLATION: %s\n", v)
+		}
+		fmt.Fprintf(os.Stderr, "reproduce: go run ./cmd/afcluster -chaos -shards %d -replicas %d -n %d -mix %s -seed %d -threads %d -msa-workers %d -gpu-workers %d\n",
+			o.shards, o.replicas, o.n, o.mix, o.seed, o.threads, o.msaWorkers, o.gpuWorkers)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "chaos-cluster: all invariants held")
+	return 0
+}

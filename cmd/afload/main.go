@@ -111,6 +111,11 @@ func parseFlags(args []string) (options, error) {
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
+	// explicit records which flags the caller actually set, so dependent
+	// combinations can be told apart from defaults (-ppi silently overriding
+	// the default -mix is fine; overriding an explicit -mix is a footgun).
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if o.n <= 0 || o.concurrency <= 0 {
 		return o, fmt.Errorf("-n and -concurrency must be positive")
 	}
@@ -123,11 +128,26 @@ func parseFlags(args []string) (options, error) {
 	if o.addr != "" && (o.chaosDisk || o.cacheDir != "" || o.warm) {
 		return o, fmt.Errorf("-chaos-disk, -cache-dir and -warm need the in-process mode (drop -addr)")
 	}
+	if o.chaos && o.chaosDisk {
+		return o, fmt.Errorf("-chaos and -chaos-disk are mutually exclusive (run the gates separately)")
+	}
+	if o.chaos && (o.ppi > 0 || o.cacheDir != "" || o.warm || o.compareCache) {
+		return o, fmt.Errorf("-chaos drives its own trace through a cache-less scheduler and ignores -ppi, -cache-dir, -warm and -compare-cache; drop them")
+	}
+	if o.chaosDisk && (o.warm || o.compareCache) {
+		return o, fmt.Errorf("-chaos-disk runs its own warm/cold passes and ignores -warm and -compare-cache; drop them")
+	}
 	if o.warm && o.cacheDir == "" && !o.chaosDisk {
 		return o, fmt.Errorf("-warm needs -cache-dir (the tier it precomputes into)")
 	}
+	if o.cacheMB <= 0 && (o.compareCache || o.cacheDir != "") && !o.chaosDisk {
+		return o, fmt.Errorf("-compare-cache and -cache-dir need the memory tier (-cache-mb > 0)")
+	}
 	if o.ppi < 0 || o.ppi > inputs.PPIPoolSize {
 		return o, fmt.Errorf("-ppi must be in [0,%d]", inputs.PPIPoolSize)
+	}
+	if o.ppi > 0 && (explicit["mix"] || explicit["n"]) {
+		return o, fmt.Errorf("-ppi derives the all-vs-all trace itself and overrides -mix and -n; drop them")
 	}
 	return o, nil
 }
@@ -382,6 +402,14 @@ func runInprocPass(o options, suite *core.Suite, mach platform.Machine, trace []
 	stats.Cache = c.Stats()
 	stats.CacheHitRate = stats.Cache.HitRate()
 	m := s.Metrics()
+	stats.Routing = &serve.RoutingBreakdown{
+		Shed:            m.Get("requests_shed"),
+		Hedges:          m.Get("msa_hedges"),
+		HedgeBackupWins: m.Get("msa_hedge_backup_wins"),
+		StageRetries:    m.Get("msa_stage_retries"),
+		ChainsRestored:  m.Get("msa_chains_restored"),
+		PartialMSA:      m.Get("requests_partial_msa"),
+	}
 	stats.ChainMemHits = m.Get("msa_chain_mem_hits")
 	stats.ChainDiskHits = m.Get("msa_chain_disk_hits")
 	stats.ChainFresh = m.Get("msa_chain_misses")
@@ -416,6 +444,10 @@ func printStats(w *os.File, st serve.LoadStats) {
 	if st.ModeledSerial > 0 {
 		fmt.Fprintf(w, "%-10s modeled: phase-split makespan %.0fs vs serial %.0fs -> %.2fx\n",
 			"", st.ModeledMakespan, st.ModeledSerial, st.ModeledSpeedup)
+	}
+	if r := st.Routing; r != nil && r.Shed+r.Hedges+r.StageRetries+r.ChainsRestored+r.PartialMSA > 0 {
+		fmt.Fprintf(w, "%-10s routing: %d shed, %d hedges (%d backup wins), %d stage retries, %d chains restored, %d partial-msa\n",
+			"", r.Shed, r.Hedges, r.HedgeBackupWins, r.StageRetries, r.ChainsRestored, r.PartialMSA)
 	}
 }
 

@@ -79,6 +79,46 @@ func TestParseFlagsValidation(t *testing.T) {
 	if _, err := parseFlags([]string{"-ppi", "999"}); err == nil {
 		t.Fatal("-ppi beyond the pool accepted")
 	}
+	// The chaos gates are mutually exclusive and each drives its own trace:
+	// flags the gate would silently ignore must be rejected, not swallowed.
+	if _, err := parseFlags([]string{"-chaos", "-chaos-disk"}); err == nil {
+		t.Fatal("-chaos with -chaos-disk accepted")
+	}
+	for _, extra := range [][]string{
+		{"-ppi", "4"}, {"-cache-dir", "/tmp/x"}, {"-warm"}, {"-compare-cache"},
+	} {
+		if _, err := parseFlags(append([]string{"-chaos"}, extra...)); err == nil {
+			t.Fatalf("-chaos with %v accepted (the fault storm ignores it)", extra)
+		}
+	}
+	if _, err := parseFlags([]string{"-chaos-disk", "-warm"}); err == nil {
+		t.Fatal("-chaos-disk with -warm accepted")
+	}
+	if _, err := parseFlags([]string{"-chaos-disk", "-compare-cache"}); err == nil {
+		t.Fatal("-chaos-disk with -compare-cache accepted")
+	}
+	// But -chaos-disk really does consume -ppi and -cache-dir.
+	if _, err := parseFlags([]string{"-chaos-disk", "-ppi", "4", "-cache-dir", "/tmp/x"}); err != nil {
+		t.Fatalf("-chaos-disk with -ppi/-cache-dir rejected: %v", err)
+	}
+	// Cache-dependent modes need the memory tier in front of them.
+	if _, err := parseFlags([]string{"-compare-cache", "-cache-mb", "0"}); err == nil {
+		t.Fatal("-compare-cache with -cache-mb 0 accepted")
+	}
+	if _, err := parseFlags([]string{"-cache-dir", "/tmp/x", "-cache-mb", "0"}); err == nil {
+		t.Fatal("-cache-dir with -cache-mb 0 accepted")
+	}
+	// -ppi overrides the trace shape: explicitly set -mix/-n must error
+	// instead of being silently discarded, while the defaults pass.
+	if _, err := parseFlags([]string{"-ppi", "4", "-mix", "promo:1"}); err == nil {
+		t.Fatal("-ppi with explicit -mix accepted")
+	}
+	if _, err := parseFlags([]string{"-ppi", "4", "-n", "50"}); err == nil {
+		t.Fatal("-ppi with explicit -n accepted")
+	}
+	if _, err := parseFlags([]string{"-ppi", "4"}); err != nil {
+		t.Fatalf("-ppi with default -mix/-n rejected: %v", err)
+	}
 }
 
 func TestBuildPPITrace(t *testing.T) {

@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"afsysbench/internal/core"
+	"afsysbench/internal/msa"
+	"afsysbench/internal/resilience"
+	"afsysbench/internal/serve"
+)
+
+// RouterConfig tunes the replica router.
+type RouterConfig struct {
+	// MaxAttempts bounds submissions per logical request across replicas
+	// (default: replica count, minimum 2) — each attempt after the first
+	// is a failover or a shed reroute.
+	MaxAttempts int
+	// Hedge enables request-level latency hedging: once MinSamples
+	// request latencies are observed, a request still running after
+	// Factor × the Percentile-th latency gets a backup submission on a
+	// different replica, and the first finisher wins. Same estimator
+	// shape as the server's chain-level serve.HedgeConfig, one level up.
+	Hedge serve.HedgeConfig
+	// PollInterval is the job-status polling period (default 200µs —
+	// modeled stages finish in milliseconds).
+	PollInterval time.Duration
+}
+
+func (c RouterConfig) withDefaults(replicas int) RouterConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = replicas
+		if c.MaxAttempts < 2 {
+			c.MaxAttempts = 2
+		}
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 200 * time.Microsecond
+	}
+	return c
+}
+
+// Router spreads requests across R serve.Server replicas with
+// health-aware load balancing: it prefers replicas whose readiness probe
+// (the same verdict GET /v1/readyz serves) is green, breaks ties by
+// least outstanding requests, and fails a request over — carrying its
+// chain checkpoint — when a replica sheds, fails, or dies mid-request.
+type Router struct {
+	replicas []*serve.Server
+	cfg      RouterConfig
+
+	mu          sync.Mutex
+	outstanding []int
+	dispatches  []int64
+	killed      []bool
+	stats       RouterStats
+	samples     []time.Duration
+}
+
+// RouterStats is the router's counter snapshot.
+type RouterStats struct {
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// Failovers counts retries on a different replica after a failed
+	// attempt (replica death included); ShedReroutes counts retries after
+	// an admission shed.
+	Failovers    int64 `json:"failovers"`
+	ShedReroutes int64 `json:"shed_reroutes"`
+	// Hedges counts backup submissions; HedgeBackupWins how often the
+	// backup finished first.
+	Hedges          int64 `json:"hedges"`
+	HedgeBackupWins int64 `json:"hedge_backup_wins"`
+	// PerReplica is one row per replica, in replica order.
+	PerReplica []ReplicaStats `json:"per_replica"`
+}
+
+// ReplicaStats is one replica's row in the router stats.
+type ReplicaStats struct {
+	Replica    int   `json:"replica"`
+	Dispatches int64 `json:"dispatches"`
+	Killed     bool  `json:"killed,omitempty"`
+}
+
+// RouteResult is the outcome of one routed request.
+type RouteResult struct {
+	// Replica is the index that produced the final result; Attempts the
+	// submissions it took (1 = first try).
+	Replica  int
+	Attempts int
+	// Hedged marks a request that got a backup submission; BackupWon that
+	// the backup finished first.
+	Hedged    bool
+	BackupWon bool
+	Status    serve.JobStatus
+	Result    *core.PipelineResult
+}
+
+// NewRouter builds a router over started (or to-be-started) replicas.
+func NewRouter(replicas []*serve.Server, cfg RouterConfig) *Router {
+	return &Router{
+		replicas:    replicas,
+		cfg:         cfg.withDefaults(len(replicas)),
+		outstanding: make([]int, len(replicas)),
+		dispatches:  make([]int64, len(replicas)),
+		killed:      make([]bool, len(replicas)),
+	}
+}
+
+// Replicas returns the routed servers.
+func (r *Router) Replicas() []*serve.Server { return r.replicas }
+
+// Kill simulates replica i dying abruptly: in-flight requests on it fail
+// at their next context check and the router routes around it.
+func (r *Router) Kill(i int) {
+	if i < 0 || i >= len(r.replicas) {
+		return
+	}
+	r.mu.Lock()
+	r.killed[i] = true
+	r.mu.Unlock()
+	r.replicas[i].Kill()
+}
+
+// Outstanding returns replica i's in-flight request count — the chaos
+// harness uses it to time a kill while work is actually on the victim.
+func (r *Router) Outstanding(i int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.outstanding) {
+		return 0
+	}
+	return r.outstanding[i]
+}
+
+// Stats returns a counter snapshot.
+func (r *Router) Stats() RouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.PerReplica = make([]ReplicaStats, len(r.replicas))
+	for i := range r.replicas {
+		st.PerReplica[i] = ReplicaStats{Replica: i, Dispatches: r.dispatches[i], Killed: r.killed[i]}
+	}
+	return st
+}
+
+// pick chooses the next replica: not killed and not excluded, preferring
+// ready ones (readiness probe green), then least outstanding, then lowest
+// index. Returns -1 when no candidate remains.
+func (r *Router) pick(exclude map[int]bool) int {
+	type cand struct {
+		i           int
+		ready       bool
+		outstanding int
+	}
+	var cands []cand
+	for i, srv := range r.replicas {
+		r.mu.Lock()
+		dead := r.killed[i]
+		out := r.outstanding[i]
+		r.mu.Unlock()
+		if dead || exclude[i] {
+			continue
+		}
+		cands = append(cands, cand{i: i, ready: srv.Ready().Ready, outstanding: out})
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].ready != cands[b].ready {
+			return cands[a].ready
+		}
+		if cands[a].outstanding != cands[b].outstanding {
+			return cands[a].outstanding < cands[b].outstanding
+		}
+		return cands[a].i < cands[b].i
+	})
+	return cands[0].i
+}
+
+// Do routes one request to completion: submit to the best replica, wait,
+// and on a shed, failure, or replica death retry on another replica with
+// the same chain checkpoint — so chains the failed attempt completed are
+// replayed, not recomputed. With hedging enabled a straggling request
+// gets a concurrent backup on a different replica and the first terminal
+// result wins (both compute the same deterministic result).
+func (r *Router) Do(ctx context.Context, req serve.Request) (RouteResult, error) {
+	if req.Checkpoint == nil {
+		// One checkpoint per logical request, shared by every attempt and
+		// hedge backup across replicas. Replicas share one suite, so the
+		// checkpoint scopes (database-profile signatures) line up.
+		req.Checkpoint = msa.NewCheckpoint()
+	}
+	r.mu.Lock()
+	r.stats.Requests++
+	r.mu.Unlock()
+	start := time.Now()
+
+	var lastErr error
+	exclude := make(map[int]bool)
+	out := RouteResult{}
+	for attempt := 1; attempt <= r.cfg.MaxAttempts; attempt++ {
+		out.Attempts = attempt
+		replica := r.pick(exclude)
+		if replica < 0 {
+			// Every remaining replica is dead or already failed this
+			// request; clear the exclusions and allow re-tries on shed
+			// replicas (a shed is transient, a death is not).
+			exclude = make(map[int]bool)
+			if replica = r.pick(exclude); replica < 0 {
+				if lastErr == nil {
+					lastErr = errors.New("cluster: all replicas down")
+				}
+				break
+			}
+		}
+		srv := r.replicas[replica]
+		id, err := srv.Submit(req)
+		if err != nil {
+			lastErr = err
+			if resilience.IsOverloaded(err) {
+				r.mu.Lock()
+				r.stats.ShedReroutes++
+				r.mu.Unlock()
+			}
+			exclude[replica] = true
+			continue
+		}
+		r.noteSubmit(replica, 1)
+		st, won := r.await(ctx, &out, replica, srv, id, req, start)
+		r.noteSubmit(replica, -1)
+		if won != nil {
+			out = *won
+		} else {
+			out.Replica = replica
+			out.Status = st
+		}
+		if out.Status.State == serve.StateDone.String() {
+			if res, ok := r.replicas[out.Replica].Result(out.Status.ID); ok {
+				out.Result = res
+			}
+			r.finish(time.Since(start), true)
+			return out, nil
+		}
+		lastErr = errors.New(out.Status.Error)
+		exclude[replica] = true
+		if attempt < r.cfg.MaxAttempts {
+			r.mu.Lock()
+			r.stats.Failovers++
+			r.mu.Unlock()
+		}
+	}
+	r.finish(time.Since(start), false)
+	return out, lastErr
+}
+
+// await polls the primary job until terminal, arming at most one hedge
+// backup on a different replica once the latency budget passes. It
+// returns the primary's terminal status, plus a non-nil RouteResult when
+// the backup reached StateDone first.
+func (r *Router) await(ctx context.Context, out *RouteResult, primary int, srv *serve.Server, id string, req serve.Request, start time.Time) (serve.JobStatus, *RouteResult) {
+	budget := r.hedgeBudget()
+	var backupSrv *serve.Server
+	var backupID string
+	backupReplica := -1
+	defer func() {
+		if backupReplica >= 0 {
+			r.noteSubmit(backupReplica, -1)
+		}
+	}()
+	tick := time.NewTicker(r.cfg.PollInterval)
+	defer tick.Stop()
+	for {
+		st, ok := srv.Status(id)
+		if ok && terminal(st.State) {
+			return st, nil
+		}
+		if backupSrv != nil {
+			if bst, ok := backupSrv.Status(backupID); ok && terminal(bst.State) {
+				if bst.State == serve.StateDone.String() {
+					r.mu.Lock()
+					r.stats.HedgeBackupWins++
+					r.mu.Unlock()
+					return st, &RouteResult{
+						Replica:   backupReplica,
+						Attempts:  out.Attempts,
+						Hedged:    true,
+						BackupWon: true,
+						Status:    bst,
+					}
+				}
+				// Failed backup: forget it, keep waiting on the primary.
+				backupSrv, backupID, backupReplica = nil, "", -1
+			}
+		}
+		if backupSrv == nil && budget > 0 && time.Since(start) > budget {
+			if i := r.pick(map[int]bool{primary: true}); i >= 0 {
+				if bid, err := r.replicas[i].Submit(req); err == nil {
+					backupSrv, backupID, backupReplica = r.replicas[i], bid, i
+					out.Hedged = true
+					r.noteSubmit(i, 1)
+					r.mu.Lock()
+					r.stats.Hedges++
+					r.mu.Unlock()
+				}
+			}
+			budget = 0 // one backup per request
+		}
+		select {
+		case <-ctx.Done():
+			return serve.JobStatus{ID: id, State: serve.StateFailed.String(), Error: ctx.Err().Error()}, nil
+		case <-tick.C:
+		}
+	}
+}
+
+func terminal(state string) bool {
+	return state == serve.StateDone.String() || state == serve.StateFailed.String()
+}
+
+func (r *Router) noteSubmit(replica, delta int) {
+	r.mu.Lock()
+	r.outstanding[replica] += delta
+	if delta > 0 {
+		r.dispatches[replica]++
+	}
+	r.mu.Unlock()
+}
+
+func (r *Router) finish(wall time.Duration, done bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if done {
+		r.stats.Completed++
+		r.samples = append(r.samples, wall)
+		if len(r.samples) > 4096 {
+			r.samples = append([]time.Duration(nil), r.samples[len(r.samples)-2048:]...)
+		}
+	} else {
+		r.stats.Failed++
+	}
+}
+
+// hedgeBudget derives the request-level hedge delay from observed
+// latencies, or 0 while disarmed.
+func (r *Router) hedgeBudget() time.Duration {
+	if !r.cfg.Hedge.Enabled {
+		return 0
+	}
+	cfg := r.cfg.Hedge
+	if cfg.Percentile <= 0 || cfg.Percentile > 100 {
+		cfg.Percentile = 95
+	}
+	if cfg.Factor <= 0 {
+		cfg.Factor = 2
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 8
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.samples)
+	if n < cfg.MinSamples {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(cfg.Percentile/100*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return time.Duration(cfg.Factor * float64(sorted[idx]))
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func syntheticPoints() []RequestPoint {
+	// Shapes from a typical measured trace: MSA-dominated requests with a
+	// tiny serial fraction (the scan is ~1e13 scaled parallel instructions
+	// against ~1e6 of serial merge/assembly work).
+	return []RequestPoint{
+		{Sample: "2PV7", MSASeconds: 900, InferenceSeconds: 40, SerialFraction: 2e-6},
+		{Sample: "1YY9", MSASeconds: 1400, InferenceSeconds: 70, SerialFraction: 1e-6},
+		{Sample: "6QNR", MSASeconds: 2100, InferenceSeconds: 260, SerialFraction: 3e-6},
+	}
+}
+
+func TestScalingCurveEfficiencyGate(t *testing.T) {
+	np := NetProfile{ScansPerRequest: 10, BytesPerScan: 64 << 10}
+	curve := BuildScalingCurve(syntheticPoints(), []int{1, 2, 4, 8, 16}, []int{1, 2, 4}, 120, "fp", np, DefaultNet(), 4, 2)
+	if got, want := len(curve.Points), 15; got != want {
+		t.Fatalf("points = %d, want %d", got, want)
+	}
+	eff := curve.ShardEfficiencyAt(16)
+	if eff < 0.8 {
+		t.Errorf("shard efficiency at 16 = %.3f, want ≥ 0.8 (the near-linear acceptance gate)", eff)
+	}
+	if one := curve.ShardEfficiencyAt(1); one < 0.999 || one > 1.001 {
+		t.Errorf("shard efficiency at 1 = %.3f, want 1.0", one)
+	}
+}
+
+func TestScalingMonotonicity(t *testing.T) {
+	np := NetProfile{ScansPerRequest: 10, BytesPerScan: 64 << 10}
+	curve := BuildScalingCurve(syntheticPoints(), []int{1, 2, 4, 8, 16}, []int{1, 2, 4}, 120, "fp", np, DefaultNet(), 4, 2)
+	byCell := make(map[[2]int]ScalingPoint)
+	for _, p := range curve.Points {
+		byCell[[2]int{p.Shards, p.Replicas}] = p
+	}
+	// More shards → per-request MSA time never grows.
+	prev := -1.0
+	for _, n := range []int{16, 8, 4, 2, 1} {
+		p := byCell[[2]int{n, 1}]
+		if prev >= 0 && p.MSASecondsPerRequest < prev {
+			t.Errorf("MSA seconds at %d shards (%.1f) below %.1f at more shards", n, p.MSASecondsPerRequest, prev)
+		}
+		prev = p.MSASecondsPerRequest
+	}
+	// More replicas → throughput never drops (at fixed shards).
+	for _, n := range []int{1, 16} {
+		last := 0.0
+		for _, r := range []int{1, 2, 4} {
+			p := byCell[[2]int{n, r}]
+			if p.ThroughputRPS < last {
+				t.Errorf("throughput dropped at shards=%d replicas=%d: %.4f < %.4f", n, r, p.ThroughputRPS, last)
+			}
+			last = p.ThroughputRPS
+		}
+	}
+	// Amdahl sanity: a heavily serial workload must NOT report near-linear
+	// scaling — the model has to punish what sharding cannot help.
+	serial := []RequestPoint{{Sample: "s", MSASeconds: 1000, InferenceSeconds: 10, SerialFraction: 0.5}}
+	sc := BuildScalingCurve(serial, []int{1, 16}, []int{1}, 120, "fp", np, DefaultNet(), 4, 2)
+	if eff := sc.ShardEfficiencyAt(16); eff > 0.15 {
+		t.Errorf("50%%-serial workload reports shard efficiency %.3f at 16 shards; the Amdahl term is broken", eff)
+	}
+}
+
+func TestNetProfileFromStats(t *testing.T) {
+	st := Stats{Scans: 40, NetBytes: 40 * 1000, NetOps: 40}
+	np := NetProfileFromStats(st, 4)
+	if np.ScansPerRequest != 10 {
+		t.Errorf("ScansPerRequest = %v, want 10", np.ScansPerRequest)
+	}
+	if np.BytesPerScan != 1000 {
+		t.Errorf("BytesPerScan = %v, want 1000", np.BytesPerScan)
+	}
+	zero := NetProfileFromStats(Stats{}, 0)
+	if zero.ScansPerRequest != 0 || zero.BytesPerScan != 0 {
+		t.Errorf("zero stats: %+v", zero)
+	}
+}

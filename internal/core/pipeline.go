@@ -82,6 +82,13 @@ type PipelineOptions struct {
 	// is the database-profile signature of the plan being run, so a chain
 	// searched under a degraded profile never serves the full one.
 	ChainCache msa.ChainFetch
+	// Scatter is the cluster layer's scatter-gather scan hook, threaded
+	// down to msa.Options.Scatter: each database scan is dispatched to
+	// simulated shard nodes instead of the in-process thread fan-out. The
+	// hook's determinism contract (results bitwise-identical to the local
+	// scan) keeps everything downstream — features, metering replay,
+	// cache keys — independent of the shard count.
+	Scatter msa.ScatterFunc
 }
 
 // PipelineResult is the end-to-end outcome for one sample on one machine.
@@ -345,13 +352,14 @@ func (s *Suite) runMSAStage(ctx context.Context, in *inputs.Input, mach platform
 		}
 		// Chain faults and checkpoints make the search attempt-dependent:
 		// the memo must not absorb (or replay around) either.
-		fresh := opts.FreshMSA || opts.MSACheckpoint != nil || inj.HasChainFaults() || opts.ChainCache != nil
+		fresh := opts.FreshMSA || opts.MSACheckpoint != nil || inj.HasChainFaults() || opts.ChainCache != nil || opts.Scatter != nil
 		msaRes, err := s.msaResultFor(ctx, in, opts.Threads, s.reducedDBSet(active), s.dbSignature(active), fresh, msaExtras{
 			checkpoint: opts.MSACheckpoint,
 			chainFault: inj.ChainFault,
 			chainDone:  opts.ChainDone,
 			hedgeAfter: opts.HedgeAfter,
 			chainCache: opts.ChainCache,
+			scatter:    opts.Scatter,
 		})
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {

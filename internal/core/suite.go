@@ -85,6 +85,7 @@ type msaExtras struct {
 	chainDone  func(chainID string, wall time.Duration)
 	hedgeAfter time.Duration
 	chainCache msa.ChainFetch
+	scatter    msa.ScatterFunc
 }
 
 // msaResultFor runs (or returns the cached) MSA phase against a specific
@@ -117,6 +118,7 @@ func (s *Suite) msaResultFor(ctx context.Context, in *inputs.Input, threads int,
 		ChainDone:       ex.chainDone,
 		HedgeAfter:      ex.hedgeAfter,
 		ChainCache:      ex.chainCache,
+		Scatter:         ex.scatter,
 	})
 	if err != nil {
 		return nil, err

@@ -71,7 +71,41 @@ type Options struct {
 	// compute the same deterministic result, so hedging affects latency
 	// only, never output.
 	HedgeAfter time.Duration
+	// Scatter, when set, replaces the in-process per-thread sharded scan
+	// of each database — the cluster layer's scatter-gather hook. The
+	// implementation must honor the determinism contract: the merged
+	// result, including per-worker metering attribution, must be
+	// bitwise-identical to the default scanParallel at the same Threads
+	// setting, so shard count can never change what a request computes.
+	Scatter ScatterFunc
 }
+
+// ScatterRequest is one database scan handed to a Scatter hook: everything
+// scanParallel would have used, plus the metering scale and the per-worker
+// accumulators the hook must attribute events to. Workers has exactly
+// Threads entries; worker w owns the records of the global thread split
+// parallel.Shards would give it, and its events must append in record
+// order — that is what keeps a scattered scan bitwise-identical to the
+// single-node one.
+type ScatterRequest struct {
+	Profile *hmmer.Profile
+	Query   *seq.Sequence
+	DB      *seqdb.DB
+	// Search carries the engine options with DBFootprint already set to
+	// the database's modeled size.
+	Search hmmer.SearchOptions
+	// Threads is the global worker count the scan is attributed across.
+	Threads int
+	// ScaleFactor is the synthetic-to-paper metering scale for this
+	// database (DB.ScaleFactor × WorkCalibration); every shard's events
+	// must be scaled by it before accumulation.
+	ScaleFactor float64
+	// Workers are the per-thread accumulators (len == Threads).
+	Workers []*metering.Accumulator
+}
+
+// ScatterFunc scatter-gathers one database scan across simulated nodes.
+type ScatterFunc func(ctx context.Context, req ScatterRequest) (*hmmer.Result, error)
 
 func (o Options) withDefaults() Options {
 	if o.Threads <= 0 {
@@ -379,6 +413,17 @@ func scanParallel(ctx context.Context, profile *hmmer.Profile, query *seq.Sequen
 	t := opts.Threads
 	searchOpts := opts.Search
 	searchOpts.DBFootprint = uint64(db.ModeledBytes())
+	if opts.Scatter != nil {
+		return opts.Scatter(ctx, ScatterRequest{
+			Profile:     profile,
+			Query:       query,
+			DB:          db,
+			Search:      searchOpts,
+			Threads:     t,
+			ScaleFactor: db.ScaleFactor * opts.WorkCalibration,
+			Workers:     res.Workers,
+		})
+	}
 
 	parts := make([]*hmmer.Result, t)
 	errs := make([]error, t)

@@ -43,6 +43,47 @@ type LoadStats struct {
 	ModeledMakespan float64 `json:"modeled_makespan_seconds"`
 	ModeledSerial   float64 `json:"modeled_serial_seconds"`
 	ModeledSpeedup  float64 `json:"modeled_speedup"`
+	// Routing gathers the run's full routing story — sheds, hedges, stage
+	// retries, checkpoint restores and (in cluster mode) per-shard dispatch
+	// counters — in one block, so no reader has to join scattered counters.
+	Routing *RoutingBreakdown `json:"routing,omitempty"`
+}
+
+// RoutingBreakdown is the one-stop routing section of a load report: every
+// way a request was steered somewhere other than the happy path, plus the
+// per-shard dispatch table when a cluster scatter layer is attached.
+type RoutingBreakdown struct {
+	// Shed counts admission rejections (queue full); ShedReroutes counts
+	// cluster-router attempts that landed on another replica after a shed.
+	Shed         int64 `json:"shed"`
+	ShedReroutes int64 `json:"shed_reroutes,omitempty"`
+	// Hedges/HedgeBackupWins count chain-level hedged retries and how often
+	// the backup finished first.
+	Hedges          int64 `json:"hedges"`
+	HedgeBackupWins int64 `json:"hedge_backup_wins"`
+	// StageRetries counts MSA stage re-runs after transient faults;
+	// ChainsRestored counts chains replayed from checkpoints instead of
+	// re-searched; PartialMSA counts results served with breaker-skipped
+	// databases.
+	StageRetries   int64 `json:"stage_retries"`
+	ChainsRestored int64 `json:"chains_restored"`
+	PartialMSA     int64 `json:"partial_msa"`
+	// ReplicaFailovers counts cluster-router retries on a different replica
+	// after one died or failed mid-request; ShardFailovers counts scans
+	// re-dispatched to a surviving owner after a shard-node kill.
+	ReplicaFailovers int64 `json:"replica_failovers,omitempty"`
+	ShardFailovers   int64 `json:"shard_failovers,omitempty"`
+	// PerShard is the dispatch table of the scatter layer, one row per
+	// shard node in shard order (nil outside cluster mode).
+	PerShard []ShardCounters `json:"per_shard,omitempty"`
+}
+
+// ShardCounters is one shard node's row in the routing breakdown.
+type ShardCounters struct {
+	Shard      string `json:"shard"`
+	Dispatches int64  `json:"dispatches"`
+	Failovers  int64  `json:"failovers"`
+	Killed     bool   `json:"killed,omitempty"`
 }
 
 // LoadReport is the full BENCH_serve.json document: the run parameters,

@@ -288,7 +288,7 @@ func (s *Server) Ready() Readiness {
 	}
 	sort.Strings(r.OpenBreakers)
 	s.mu.Lock()
-	running := s.started && !s.stopped
+	running := s.started && !s.stopped && !s.killed
 	s.mu.Unlock()
 	r.Ready = running && len(r.OpenBreakers) == 0 && !r.QueueSaturated
 	return r

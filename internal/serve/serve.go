@@ -98,6 +98,13 @@ type Request struct {
 	// and both stages (0 = the server's DefaultTimeout; negative = none
 	// even if the server has a default).
 	Timeout time.Duration
+	// Checkpoint, when non-nil, is a caller-owned chain checkpoint the job
+	// records completed MSA chains into (and replays from). The cluster
+	// router passes one per logical request so a retry after a replica
+	// death resumes on a healthy replica with every chain the dead one
+	// finished — cross-replica checkpointed failover. nil keeps the
+	// server-internal behavior (a private checkpoint when MSAAttempts > 1).
+	Checkpoint *msa.Checkpoint
 }
 
 // Config tunes a Server. Zero values mean: paper Server platform, AF3's
@@ -176,6 +183,12 @@ type Config struct {
 	// mode panics inside it to prove worker panic isolation: the job fails
 	// with error class "panic" and the worker survives.
 	PanicHook func(point string, ordinal int)
+	// Scatter is the cluster layer's scatter-gather scan hook (see
+	// msa.Options.Scatter): every database scan of every MSA stage is
+	// dispatched across simulated shard nodes instead of the in-process
+	// thread fan-out. The hook's bitwise-determinism contract keeps the
+	// cache keys and the per-request results independent of shard count.
+	Scatter msa.ScatterFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -264,6 +277,10 @@ type JobStatus struct {
 	ChainsMem   int `json:"chains_mem,omitempty"`
 	ChainsDisk  int `json:"chains_disk,omitempty"`
 	ChainsFresh int `json:"chains_fresh,omitempty"`
+	// ChainsRestored counts MSA chains replayed from the job's checkpoint —
+	// work a previous attempt (possibly on a dead replica) completed that
+	// this one did not repeat.
+	ChainsRestored int `json:"chains_restored,omitempty"`
 	// MSASeconds is the modeled MSA time charged to this request (the
 	// fresh-work share of the phase time; 0 on a full cache hit);
 	// InferenceSeconds the modeled inference time.
@@ -292,6 +309,13 @@ type Server struct {
 	pending int    // admitted but not yet terminal
 	started bool
 	stopped bool
+	killed  bool
+
+	// killCtx is the server's life context: Kill cancels it, which fails
+	// every in-flight and queued job at its next context check — the
+	// cluster harness's simulation of abrupt replica death.
+	killCtx    context.Context
+	killCancel context.CancelFunc
 
 	msaQ chan *Job
 	infQ chan *Job
@@ -332,6 +356,7 @@ func NewWithSuite(suite *core.Suite, cfg Config) *Server {
 		msaQ:  make(chan *Job, cfg.QueueDepth),
 		infQ:  make(chan *Job, cfg.QueueDepth),
 	}
+	s.killCtx, s.killCancel = context.WithCancel(context.Background())
 	s.idle.L = &s.mu
 	s.initBreakers()
 	if cfg.Cache != nil && cfg.DiskCache != nil {
@@ -423,6 +448,9 @@ func (s *Server) Submit(req Request) (string, error) {
 	if s.stopped {
 		return "", errors.New("serve: server stopped")
 	}
+	if s.killed {
+		return "", errors.New("serve: server killed")
+	}
 	job := &Job{
 		ordinal:   len(s.order),
 		in:        in,
@@ -439,7 +467,9 @@ func (s *Server) Submit(req Request) (string, error) {
 		// retries.
 		job.inj = resilience.NewInjector(s.cfg.Faults, rng.New(s.suite.Seed).Split(uint64(job.ordinal)))
 	}
-	if s.cfg.MSAAttempts > 1 {
+	if req.Checkpoint != nil {
+		job.checkpoint = req.Checkpoint
+	} else if s.cfg.MSAAttempts > 1 {
 		job.checkpoint = msa.NewCheckpoint()
 	}
 	select {
@@ -453,6 +483,31 @@ func (s *Server) Submit(req Request) (string, error) {
 	s.pending++
 	s.cfg.Metrics.Add("requests_admitted", 1)
 	return job.id, nil
+}
+
+// Kill simulates abrupt replica death for the cluster chaos harness: the
+// server stops admitting (submits fail immediately), every in-flight and
+// queued job is failed at its next context check, and Ready reports false.
+// Unlike Stop it does not drain — queued jobs die where they stand. The
+// worker goroutines survive (they just drain failed jobs), so a killed
+// server still Stops cleanly. Idempotent.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return
+	}
+	s.killed = true
+	s.mu.Unlock()
+	s.killCancel()
+	s.cfg.Metrics.Add("server_killed", 1)
+}
+
+// Killed reports whether Kill has been called.
+func (s *Server) Killed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
 }
 
 // WaitIdle blocks until every admitted job has reached a terminal state
@@ -526,6 +581,9 @@ func (s *Server) statusLocked(job *Job) JobStatus {
 		st.Degraded = job.result.Resilience.Degraded
 		st.PartialMSA = job.partialMSA
 	}
+	if job.msaPhase != nil && job.msaPhase.Data != nil {
+		st.ChainsRestored = job.msaPhase.Data.RestoredChains
+	}
 	return st
 }
 
@@ -556,6 +614,7 @@ func (s *Server) pipelineOpts(job *Job) core.PipelineOptions {
 		Retry:     s.cfg.Retry,
 		FreshMSA:  true,
 		Injector:  job.inj,
+		Scatter:   s.cfg.Scatter,
 	}
 }
 
@@ -772,12 +831,14 @@ func (s *Server) runInferenceGuarded(job *Job) {
 	s.runInference(job)
 }
 
-// jobCtx derives the request's wall-clock context from its deadline.
+// jobCtx derives the request's wall-clock context from its deadline and the
+// server's life context, so a Kill fails every in-flight stage at its next
+// context check.
 func (s *Server) jobCtx(job *Job) (context.Context, context.CancelFunc) {
 	if job.deadline.IsZero() {
-		return context.WithCancel(context.Background())
+		return context.WithCancel(s.killCtx)
 	}
-	return context.WithDeadline(context.Background(), job.deadline)
+	return context.WithDeadline(s.killCtx, job.deadline)
 }
 
 // runMSA executes (or fetches) the MSA stage for one job and hands it to
