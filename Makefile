@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race faults chaos chaos-disk chaos-cluster cluster-smoke bench bench-msa bench-msa-smoke swar-smoke serve-bench serve-smoke cluster-bench
+.PHONY: all build test check fmt vet race faults chaos chaos-disk chaos-cluster cluster-smoke bench bench-msa bench-msa-smoke swar-smoke serve-bench serve-smoke cluster-bench bench-batch batch-smoke
 
 all: build
 
@@ -31,7 +31,7 @@ vet:
 # MSV/band reject-only proofs, plus testdata regression entries) replay
 # under the race detector on every gate.
 race:
-	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion ./internal/cache ./internal/serve ./internal/msa ./internal/cluster
+	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion ./internal/cache ./internal/batch ./internal/serve ./internal/msa ./internal/cluster
 	$(GO) test -race -run 'Test|Fuzz' ./internal/hmmer ./internal/cachedisk
 
 # Fault-injection and degradation suite under the race detector: the
@@ -76,7 +76,7 @@ chaos-cluster:
 cluster-smoke:
 	$(GO) test -run 'TestScalingRunSmoke' -count 1 ./cmd/afcluster
 
-check: fmt vet test race faults chaos chaos-disk chaos-cluster cluster-smoke swar-smoke bench-msa-smoke serve-smoke
+check: fmt vet test race faults chaos chaos-disk chaos-cluster cluster-smoke swar-smoke bench-msa-smoke serve-smoke batch-smoke
 
 # Cluster scaling benchmark: the full shards × replicas sweep merged into
 # BENCH_serve.json as the cluster_scaling section (run serve-bench first so
@@ -128,3 +128,15 @@ serve-bench:
 serve-smoke:
 	rm -rf /tmp/afsysbench-serve-smoke-tier
 	$(GO) run ./cmd/afload -ppi 4 -concurrency 2 -threads 4 -msa-workers 2 -cache-dir /tmp/afsysbench-serve-smoke-tier -warm -compare-cache
+
+# Cross-request batching benchmark: the compile-dominated -> compute-dominated
+# crossover sweep (modeled curve, measured offered-load sweep, bucket-count
+# sweep) merged into BENCH_serve.json as the batch_crossover section. The
+# sweep is its own gate: it fails unless the small-input unbatched overhead
+# exceeds the paper's 75% and batching reaches <50% within the memory cap.
+bench-batch:
+	$(GO) run ./cmd/afload -batch-sweep -n 16 -json BENCH_serve.json
+
+# Smoke variant for the check gate: same sweep and gate, no artifact.
+batch-smoke:
+	$(GO) run ./cmd/afload -batch-sweep -n 16

@@ -84,7 +84,15 @@ type options struct {
 	compareCache bool
 	chaos        bool
 	chaosDisk    bool
+	batch        bool
+	batchBuckets string
+	maxBatch     int
+	batchSweep   bool
 	jsonPath     string
+	// mixSet records whether -mix was given explicitly, so modes with a
+	// better-suited default (the batch sweep wants small inputs) can tell
+	// "caller chose the stock mix" from "caller chose nothing".
+	mixSet bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -107,6 +115,10 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.compareCache, "compare-cache", false, "in-process only: rerun the trace cache-disabled and request-keyed and report the speedups")
 	fs.BoolVar(&o.chaos, "chaos", false, "in-process only: run the seeded fault storm and assert the fault-tolerance invariants instead of measuring throughput")
 	fs.BoolVar(&o.chaosDisk, "chaos-disk", false, "in-process only: run the disk-fault chaos gate against the persistent tier and assert the crash-safety invariants")
+	fs.BoolVar(&o.batch, "batch", false, "in-process only: enable cross-request GPU batching with the shape-bucketed compile cache")
+	fs.StringVar(&o.batchBuckets, "batch-buckets", "", "comma-separated shape-bucket boundaries for -batch (empty = stock bucket set)")
+	fs.IntVar(&o.maxBatch, "max-batch", 0, "cap members per batched dispatch on top of the memory-footprint cap (0 = memory cap only)")
+	fs.BoolVar(&o.batchSweep, "batch-sweep", false, "in-process only: sweep batch size, offered load and bucket count, report the compile-dominated -> compute-dominated crossover, and merge a batch_crossover section into -json")
 	fs.StringVar(&o.jsonPath, "json", "", "write the report JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -116,6 +128,7 @@ func parseFlags(args []string) (options, error) {
 	// the default -mix is fine; overriding an explicit -mix is a footgun).
 	explicit := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	o.mixSet = explicit["mix"]
 	if o.n <= 0 || o.concurrency <= 0 {
 		return o, fmt.Errorf("-n and -concurrency must be positive")
 	}
@@ -142,6 +155,21 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.cacheMB <= 0 && (o.compareCache || o.cacheDir != "") && !o.chaosDisk {
 		return o, fmt.Errorf("-compare-cache and -cache-dir need the memory tier (-cache-mb > 0)")
+	}
+	if o.batchSweep && o.addr != "" {
+		return o, fmt.Errorf("-batch-sweep needs the in-process mode (drop -addr)")
+	}
+	if o.batchSweep && (o.chaos || o.chaosDisk || o.ppi > 0 || o.warm || o.compareCache || o.cacheDir != "" || o.batch) {
+		return o, fmt.Errorf("-batch-sweep drives its own batching passes; drop -chaos, -chaos-disk, -ppi, -warm, -compare-cache, -cache-dir and -batch")
+	}
+	if o.addr != "" && (o.batch || o.batchBuckets != "" || o.maxBatch > 0) {
+		return o, fmt.Errorf("-batch, -batch-buckets and -max-batch need the in-process mode (drop -addr)")
+	}
+	if !o.batch && !o.batchSweep && (o.batchBuckets != "" || o.maxBatch > 0) {
+		return o, fmt.Errorf("-batch-buckets and -max-batch need -batch")
+	}
+	if _, err := parseBuckets(o.batchBuckets); err != nil {
+		return o, err
 	}
 	if o.ppi < 0 || o.ppi > inputs.PPIPoolSize {
 		return o, fmt.Errorf("-ppi must be in [0,%d]", inputs.PPIPoolSize)
@@ -372,6 +400,29 @@ type passConfig struct {
 	disk          *cachedisk.Store // nil = memory-only
 	requestScoped bool             // the request-keyed baseline mode
 	spill         bool             // push the surviving memory tier to disk after the run
+	coldModel     bool             // stock one-container-per-request deployment
+	batch         serve.BatchConfig
+}
+
+// parseBuckets parses the -batch-buckets list ("512,1024,2048"); empty
+// means the stock bucket set (nil).
+func parseBuckets(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		b, err := strconv.Atoi(part)
+		if err != nil || b <= 0 {
+			return nil, fmt.Errorf("bad -batch-buckets entry %q", part)
+		}
+		out = append(out, b)
+	}
+	return out, nil
 }
 
 // runInprocPass builds a scheduler from the flags, drives the trace, and
@@ -391,6 +442,8 @@ func runInprocPass(o options, suite *core.Suite, mach platform.Machine, trace []
 		Cache:             c,
 		DiskCache:         pc.disk,
 		RequestScopedKeys: pc.requestScoped,
+		ColdModel:         pc.coldModel,
+		Batch:             pc.batch,
 	})
 	s.Start()
 	stats := drive(inprocTarget{s: s}, trace, o.concurrency, o.threads)
@@ -428,6 +481,7 @@ func runInprocPass(o options, suite *core.Suite, mach platform.Machine, trace []
 	if sched.Makespan > 0 {
 		stats.ModeledSpeedup = stats.ModeledSerial / sched.Makespan
 	}
+	stats.Batch = s.BatchReport()
 	return stats, nil
 }
 
@@ -461,6 +515,9 @@ func run(args []string, out *os.File) error {
 	}
 	if o.chaosDisk {
 		return runChaosDisk(o, out)
+	}
+	if o.batchSweep {
+		return runBatchSweep(o, out)
 	}
 	var trace []string
 	mixLabel := o.mix
@@ -514,25 +571,33 @@ func run(args []string, out *os.File) error {
 			}
 			defer disk.Close()
 		}
+		var bcfg serve.BatchConfig
+		if o.batch {
+			buckets, err := parseBuckets(o.batchBuckets)
+			if err != nil {
+				return err
+			}
+			bcfg = serve.BatchConfig{Enabled: true, Buckets: buckets, MaxBatch: o.maxBatch}
+		}
 		if o.warm {
 			// The precompute pass fills the disk tier through a throwaway
 			// memory tier, so the measured pass below starts with a cold
 			// memory tier but a warm disk.
-			warm, err := runInprocPass(o, suite, mach, trace, "warm", passConfig{withCache: true, disk: disk, spill: true})
+			warm, err := runInprocPass(o, suite, mach, trace, "warm", passConfig{withCache: true, disk: disk, spill: true, batch: bcfg})
 			if err != nil {
 				return err
 			}
 			printStats(out, warm)
 			report.Warm = &warm
 		}
-		withCache, err := runInprocPass(o, suite, mach, trace, "with-cache", passConfig{withCache: true, disk: disk})
+		withCache, err := runInprocPass(o, suite, mach, trace, "with-cache", passConfig{withCache: true, disk: disk, batch: bcfg})
 		if err != nil {
 			return err
 		}
 		printStats(out, withCache)
 		report.WithCache = &withCache
 		if o.compareCache {
-			noCache, err := runInprocPass(o, suite, mach, trace, "no-cache", passConfig{})
+			noCache, err := runInprocPass(o, suite, mach, trace, "no-cache", passConfig{batch: bcfg})
 			if err != nil {
 				return err
 			}
@@ -547,7 +612,7 @@ func run(args []string, out *os.File) error {
 			// looked like before chain-level keys. Its modeled makespan over
 			// the chain-keyed pass's is the deployment-scale win of sharing
 			// chains across complexes.
-			baseline, err := runInprocPass(o, suite, mach, trace, "req-keyed", passConfig{withCache: true, requestScoped: true})
+			baseline, err := runInprocPass(o, suite, mach, trace, "req-keyed", passConfig{withCache: true, requestScoped: true, batch: bcfg})
 			if err != nil {
 				return err
 			}

@@ -13,6 +13,7 @@
 //	afserve -cache-dir /var/cache/af         # persistent chain-cache tier
 //	afserve -deadline 30s -cold              # per-request deadline, cold model
 //	afserve -msa-attempts 3 -hedge           # checkpointed retries + hedging
+//	afserve -batch -max-batch 8              # cross-request GPU batching
 //	afserve -faults transient:uniref_s:1     # inject faults (robustness demos)
 //	afserve -breaker-threshold 3 -breaker-cooldown 5s
 //
@@ -33,6 +34,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"afsysbench/internal/cache"
@@ -69,6 +72,10 @@ type options struct {
 	breakerThreshold int
 	breakerCooldown  time.Duration
 	hedge            bool
+
+	batch        bool
+	batchBuckets string
+	maxBatch     int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -89,10 +96,40 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.breakerThreshold, "breaker-threshold", 0, "consecutive failures that open a database's circuit breaker (0 = default 5)")
 	fs.DurationVar(&o.breakerCooldown, "breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default 10s)")
 	fs.BoolVar(&o.hedge, "hedge", false, "hedge straggling MSA chain searches with a concurrent backup attempt")
+	fs.BoolVar(&o.batch, "batch", false, "enable cross-request GPU batching with the shape-bucketed compile cache")
+	fs.StringVar(&o.batchBuckets, "batch-buckets", "", "comma-separated shape-bucket boundaries for -batch (empty = stock bucket set)")
+	fs.IntVar(&o.maxBatch, "max-batch", 0, "cap members per batched dispatch on top of the memory-footprint cap (0 = memory cap only)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
+	if !o.batch && (o.batchBuckets != "" || o.maxBatch > 0) {
+		return o, fmt.Errorf("-batch-buckets and -max-batch need -batch")
+	}
+	if _, err := parseBuckets(o.batchBuckets); err != nil {
+		return o, err
+	}
 	return o, nil
+}
+
+// parseBuckets parses a comma-separated ascending bucket list ("" = nil,
+// meaning the stock policy).
+func parseBuckets(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var buckets []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -batch-buckets entry %q (want positive token counts)", part)
+		}
+		buckets = append(buckets, n)
+	}
+	return buckets, nil
 }
 
 // buildServer turns the flags into a configured scheduler. Split from run
@@ -123,6 +160,10 @@ func buildServer(o options) (*serve.Server, error) {
 			return nil, err
 		}
 	}
+	buckets, err := parseBuckets(o.batchBuckets)
+	if err != nil {
+		return nil, err
+	}
 	return serve.New(serve.Config{
 		Machine:          mach,
 		Threads:          o.threads,
@@ -138,6 +179,7 @@ func buildServer(o options) (*serve.Server, error) {
 		BreakerThreshold: o.breakerThreshold,
 		BreakerCooldown:  o.breakerCooldown,
 		Hedge:            serve.HedgeConfig{Enabled: o.hedge},
+		Batch:            serve.BatchConfig{Enabled: o.batch, Buckets: buckets, MaxBatch: o.maxBatch},
 	})
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"afsysbench/internal/batch"
 	"afsysbench/internal/inputs"
 	"afsysbench/internal/platform"
 )
@@ -23,9 +24,17 @@ type BatchOptions struct {
 	// Pipelined overlaps MSA(i+1) with inference(i) (ParaFold-style
 	// two-stage pipeline). Sequential otherwise.
 	Pipelined bool
-	// WarmModel keeps the model initialized between requests (§VI); only
-	// the first request pays init + compile.
+	// WarmModel keeps the model initialized between requests (§VI): only
+	// the first request pays device init, and XLA compile is paid once per
+	// distinct graph shape — a warm model still recompiles when the token
+	// count (or shape bucket, see Buckets) changes between samples.
 	WarmModel bool
+	// Buckets optionally coarsens the shape key that decides whether a
+	// warm model must recompile: token counts padded into the same bucket
+	// (internal/batch semantics — smallest bucket ≥ tokens, overflow keyed
+	// exact) share one compiled graph. nil keys per exact token count, so
+	// any shape change recompiles.
+	Buckets []int
 }
 
 // BatchItem is one request's schedule.
@@ -73,7 +82,13 @@ func (s *Suite) RunBatch(names []string, mach platform.Machine, opts BatchOption
 	}
 	res := &BatchResult{Machine: mach.Name, Pipelined: opts.Pipelined, WarmModel: opts.WarmModel}
 
-	// Phase times per request.
+	// Phase times per request. A warm model skips device init after the
+	// first request, but XLA compile is keyed by graph shape: a sample
+	// whose shape bucket has not been compiled yet still pays the compiler
+	// (the old behavior skipped compile for every warm request even when
+	// the sequence length — and thus the compiled graph — changed).
+	pol := batch.NewPolicy(opts.Buckets)
+	compiled := make(map[int]bool)
 	type phases struct{ msa, inf float64 }
 	reqs := make([]phases, 0, len(names))
 	for i, name := range names {
@@ -82,14 +97,18 @@ func (s *Suite) RunBatch(names []string, mach platform.Machine, opts BatchOption
 			return nil, err
 		}
 		m := MachineFor(in, mach)
+		shape := pol.PadTo(in.TotalResidues())
+		warm := opts.WarmModel && i > 0
 		pr, err := s.RunPipeline(in, m, PipelineOptions{
-			Threads:   opts.Threads,
-			RunIndex:  i,
-			WarmStart: opts.WarmModel && i > 0,
+			Threads:        opts.Threads,
+			RunIndex:       i,
+			WarmStart:      warm,
+			RecompileShape: warm && !compiled[shape],
 		})
 		if err != nil {
 			return nil, err
 		}
+		compiled[shape] = true
 		reqs = append(reqs, phases{msa: pr.MSASeconds, inf: pr.Inference.Total()})
 	}
 

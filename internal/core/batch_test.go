@@ -101,6 +101,42 @@ func TestRunBatchSchedulingInvariants(t *testing.T) {
 	}
 }
 
+func TestRunBatchWarmRecompilesOnShapeChange(t *testing.T) {
+	s := suite(t)
+	mach := platform.Server()
+	// 2PV7 and 7RCE have different token counts, so with exact shape keys
+	// the warm second request must still pay XLA compile; repeating 2PV7
+	// third hits the already-compiled shape and pays neither init nor
+	// compile.
+	warm, err := s.RunBatch([]string{"2PV7", "7RCE", "2PV7"}, mach, BatchOptions{
+		Threads: 4, Pipelined: true, WarmModel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Items[1].InferenceSeconds <= warm.Items[2].InferenceSeconds {
+		t.Errorf("warm new-shape request (%.1fs) must pay compile the repeated shape (%.1fs) skips",
+			warm.Items[1].InferenceSeconds, warm.Items[2].InferenceSeconds)
+	}
+	// A bucket wide enough to hold both samples makes the second request
+	// share the first one's compiled graph.
+	bucketed, err := s.RunBatch([]string{"2PV7", "7RCE", "2PV7"}, mach, BatchOptions{
+		Threads: 4, Pipelined: true, WarmModel: true, Buckets: []int{1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bucketed.Items[1].InferenceSeconds >= warm.Items[1].InferenceSeconds {
+		t.Errorf("bucketed warm request (%.1fs) must skip the compile the exact-shape one (%.1fs) pays",
+			bucketed.Items[1].InferenceSeconds, warm.Items[1].InferenceSeconds)
+	}
+	// The jitter draw is shared (same run index), so the gap is exactly
+	// the compile bar — the bucketed run is otherwise identical.
+	if bucketed.Items[0].InferenceSeconds != warm.Items[0].InferenceSeconds {
+		t.Error("bucketing must not change the cold first request")
+	}
+}
+
 func TestRunBatchErrors(t *testing.T) {
 	s := suite(t)
 	if _, err := s.RunBatch(nil, platform.Server(), BatchOptions{}); err == nil {

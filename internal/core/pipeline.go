@@ -31,6 +31,12 @@ type PipelineOptions struct {
 	// WarmStart skips GPU init/XLA compile (persistent model server,
 	// Section VI).
 	WarmStart bool
+	// RecompileShape charges the XLA compile on a warm start whose graph
+	// shape (token count, or shape bucket — see internal/batch) has not
+	// been compiled in this process: the model stays resident, but a new
+	// shape still pays the compiler. Ignored when WarmStart is false —
+	// cold starts always compile.
+	RecompileShape bool
 	// PreloadDBs explicitly loads the run's databases into the page cache
 	// before the MSA phase (Section VI storage optimization).
 	PreloadDBs bool
@@ -297,6 +303,7 @@ func (s *Suite) RunInferencePhase(ctx context.Context, in *inputs.Input, mach pl
 	pb, err := simgpu.Inference(mach, s.Model, in.TotalResidues(), simgpu.InferenceOptions{
 		Threads:        opts.Threads,
 		WarmStart:      opts.WarmStart,
+		Recompile:      opts.RecompileShape,
 		CompileSeconds: host.CompileSeconds,
 	})
 	if err != nil {

@@ -51,7 +51,10 @@ type MetricsSnapshot struct {
 	// tier is disabled). Degraded inside it marks memory-only mode: the
 	// store's breaker is open and disk I/O is being skipped, not failed.
 	DiskCache *cachedisk.Stats `json:"disk_cache,omitempty"`
-	Latency   Percentiles      `json:"latency"`
+	// CompileCache is the compiled-graph cache's counter snapshot (nil
+	// unless cross-request batching is enabled).
+	CompileCache *cache.Stats `json:"compile_cache,omitempty"`
+	Latency      Percentiles  `json:"latency"`
 }
 
 // MetricsSnapshot assembles the current metrics view.
@@ -73,6 +76,10 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	if s.cfg.DiskCache != nil {
 		ds := s.cfg.DiskCache.Stats()
 		snap.DiskCache = &ds
+	}
+	if s.compileCache != nil {
+		cs := s.compileCache.Stats()
+		snap.CompileCache = &cs
 	}
 	return snap
 }

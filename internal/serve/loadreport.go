@@ -47,6 +47,10 @@ type LoadStats struct {
 	// retries, checkpoint restores and (in cluster mode) per-shard dispatch
 	// counters — in one block, so no reader has to join scattered counters.
 	Routing *RoutingBreakdown `json:"routing,omitempty"`
+	// Batch is the cross-request GPU batching summary — dispatches, mean
+	// batch size, overhead fraction, padding waste, compile-cache counters
+	// (nil when batching is disabled).
+	Batch *BatchReport `json:"batch,omitempty"`
 }
 
 // RoutingBreakdown is the one-stop routing section of a load report: every

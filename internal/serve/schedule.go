@@ -96,8 +96,12 @@ func (s *Server) ModeledSchedule(cpuWorkers, gpuWorkers int) Schedule {
 			sample:  job.in.Name,
 			hit:     job.cacheHit,
 			ordinal: job.ordinal,
-			msa:     job.chargedMSASeconds,
-			inf:     job.result.Inference.Total(),
+			// Charged inference seconds: the canonical total unbatched,
+			// the amortized batch share when the request rode a batched
+			// dispatch — so batching's fixed-cost amortization shows up
+			// in the modeled makespan exactly once per batch.
+			msa: job.chargedMSASeconds,
+			inf: job.chargedInfSeconds,
 		})
 	}
 	s.mu.Unlock()

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"afsysbench/internal/batch"
 	"afsysbench/internal/cache"
 	"afsysbench/internal/cachedisk"
 	"afsysbench/internal/core"
@@ -189,6 +190,10 @@ type Config struct {
 	// thread fan-out. The hook's bitwise-determinism contract keeps the
 	// cache keys and the per-request results independent of shard count.
 	Scatter msa.ScatterFunc
+	// Batch enables cross-request GPU batching with a shape-bucketed
+	// compiled-graph cache (see batch.go). Zero value: every inference
+	// dispatches alone.
+	Batch BatchConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -261,6 +266,20 @@ type Job struct {
 	chainsMem   int
 	chainsDisk  int
 	chainsFresh int
+	// chargedInfSeconds is the modeled inference time this request is
+	// charged. Unbatched it equals the canonical breakdown's total; in a
+	// batched dispatch it is the amortized share (batch total / members),
+	// so member charges always sum to the batch's modeled time.
+	chargedInfSeconds float64
+	// leftUpstream marks the job as no longer upstream of the batch
+	// dispatcher (received, or terminal before hand-off); guards the
+	// once-only preBatch decrement.
+	leftUpstream bool
+	// batchID/batchSize/bucketTokens describe the batched dispatch that
+	// carried this job (batching mode only).
+	batchID      string
+	batchSize    int
+	bucketTokens int
 }
 
 // JobStatus is a point-in-time snapshot of one job, also the HTTP
@@ -287,6 +306,15 @@ type JobStatus struct {
 	MSASeconds       float64 `json:"msa_seconds"`
 	InferenceSeconds float64 `json:"inference_seconds"`
 	Degraded         bool    `json:"degraded,omitempty"`
+	// ChargedInferenceSeconds is the inference time attributed to this
+	// request: the canonical breakdown total unbatched, the amortized
+	// share of the batch total when the request rode a batched dispatch.
+	ChargedInferenceSeconds float64 `json:"charged_inference_seconds,omitempty"`
+	// BatchID/BatchSize/BucketTokens identify the batched dispatch that
+	// carried this request and the shape bucket it was padded to.
+	BatchID      string `json:"batch_id,omitempty"`
+	BatchSize    int    `json:"batch_size,omitempty"`
+	BucketTokens int    `json:"bucket_tokens,omitempty"`
 	// PartialMSA marks a result computed with databases skipped by an
 	// open circuit breaker (a strict subset of Degraded).
 	PartialMSA bool    `json:"partial_msa,omitempty"`
@@ -321,6 +349,22 @@ type Server struct {
 	infQ chan *Job
 	wgA  sync.WaitGroup // MSA workers
 	wgB  sync.WaitGroup // GPU workers
+
+	// Batching tier (nil/zero unless cfg.Batch.Enabled; see batch.go).
+	// policy pads token counts into shape buckets; the dispatcher
+	// goroutine (wgDisp) turns infQ into sealed batches on batchQ;
+	// batchKick wakes it for quiescence re-checks; compileCache is the
+	// compiled-graph cache; meter and batchAgg (guarded by mu) hold the
+	// padding/compile and overhead accounting; preBatch (guarded by mu)
+	// counts admitted jobs the dispatcher has not yet received.
+	policy       batch.Policy
+	batchQ       chan *inferenceBatch
+	batchKick    chan struct{}
+	wgDisp       sync.WaitGroup
+	compileCache *cache.Cache
+	meter        *batch.Meter
+	preBatch     int
+	batchAgg     batchAggregate
 
 	// msaLive/gpuLive count live worker goroutines (PoolHealth); guarded
 	// by mu.
@@ -359,6 +403,7 @@ func NewWithSuite(suite *core.Suite, cfg Config) *Server {
 	s.killCtx, s.killCancel = context.WithCancel(context.Background())
 	s.idle.L = &s.mu
 	s.initBreakers()
+	s.initBatching()
 	if cfg.Cache != nil && cfg.DiskCache != nil {
 		// Spill-on-eviction: a chain pushed out of the memory LRU is
 		// written through to the persistent tier instead of being lost.
@@ -391,6 +436,17 @@ func (s *Server) Start() {
 		s.wgA.Add(1)
 		go s.msaWorker()
 	}
+	if s.cfg.Batch.Enabled {
+		// The single dispatcher owns batch composition (the determinism
+		// argument in batch.go); the GPU pool consumes sealed batches.
+		s.wgDisp.Add(1)
+		go s.batchDispatcher()
+		for i := 0; i < s.cfg.GPUWorkers; i++ {
+			s.wgB.Add(1)
+			go s.batchGPUWorker()
+		}
+		return
+	}
 	for i := 0; i < s.cfg.GPUWorkers; i++ {
 		s.wgB.Add(1)
 		go s.gpuWorker()
@@ -415,6 +471,11 @@ func (s *Server) Stop() {
 	}
 	close(s.infQ)
 	if started {
+		if s.cfg.Batch.Enabled {
+			// The dispatcher seals its open batch and closes batchQ on
+			// infQ close; the GPU pool drains the sealed tail.
+			s.wgDisp.Wait()
+		}
 		s.wgB.Wait()
 	}
 }
@@ -481,6 +542,9 @@ func (s *Server) Submit(req Request) (string, error) {
 	s.jobs[job.id] = job
 	s.order = append(s.order, job)
 	s.pending++
+	if s.cfg.Batch.Enabled {
+		s.preBatch++
+	}
 	s.cfg.Metrics.Add("requests_admitted", 1)
 	return job.id, nil
 }
@@ -578,6 +642,10 @@ func (s *Server) statusLocked(job *Job) JobStatus {
 	if job.result != nil {
 		st.MSASeconds = job.chargedMSASeconds
 		st.InferenceSeconds = job.result.Inference.Total()
+		st.ChargedInferenceSeconds = job.chargedInfSeconds
+		st.BatchID = job.batchID
+		st.BatchSize = job.batchSize
+		st.BucketTokens = job.bucketTokens
 		st.Degraded = job.result.Resilience.Degraded
 		st.PartialMSA = job.partialMSA
 	}
@@ -944,6 +1012,17 @@ func (s *Server) runMSA(job *Job, stage *string) {
 // that somehow arrives already terminal (failed elsewhere under fault
 // load) is left alone — terminal states are final.
 func (s *Server) runInference(job *Job) {
+	s.runInferenceJob(job, nil, 0)
+}
+
+// runInferenceJob is the shared inference completion for the unbatched
+// path (b == nil) and batched dispatch members. The per-request result is
+// canonical in both modes — computed with the same pipeline options, so it
+// is bitwise identical whether or not the job rode a batch. Batching
+// affects only attribution: a batch member's charged inference seconds are
+// its amortized share of the batched dispatch's modeled time instead of
+// the canonical breakdown total.
+func (s *Server) runInferenceJob(job *Job, b *inferenceBatch, share float64) {
 	s.mu.Lock()
 	if job.state == StateDone || job.state == StateFailed {
 		s.mu.Unlock()
@@ -970,6 +1049,13 @@ func (s *Server) runInference(job *Job) {
 		return
 	}
 	job.result = res
+	job.chargedInfSeconds = res.Inference.Total()
+	if b != nil {
+		job.chargedInfSeconds = share
+		job.batchID = b.id
+		job.batchSize = len(b.jobs)
+		job.bucketTokens = b.bucket
+	}
 	job.state = StateDone
 	job.wallSeconds = time.Since(job.submitted).Seconds()
 	s.terminalLocked()
@@ -1011,6 +1097,11 @@ func ErrorClass(err error) string {
 // left untouched, so the panic-recovery path and a concurrent stage
 // completion cannot double-fail (or double-decrement the pending count).
 func (s *Server) fail(job *Job, err error) {
+	// A job failing before the GPU hand-off never reaches the batch
+	// dispatcher; release its upstream slot so quiescence sealing is not
+	// held hostage by a dead job. No-op when batching is off or the
+	// dispatcher already received it.
+	s.leaveUpstream(job)
 	class := ErrorClass(err)
 	s.mu.Lock()
 	if job.state == StateDone || job.state == StateFailed {

@@ -61,6 +61,30 @@ func (m Model) MemoryFootprintBytes(n int) int64 {
 	return weightBytes + int64(n)*int64(n)*actBytesPerPairElt
 }
 
+// BatchedFootprintBytes returns the device memory needed by a batched
+// dispatch of batch members padded to n tokens: one weight set plus one
+// activation set per member.
+func (m Model) BatchedFootprintBytes(n, batch int) int64 {
+	return weightBytes + int64(batch)*int64(n)*int64(n)*actBytesPerPairElt
+}
+
+// MaxBatch returns the largest batch size whose activation sets fit in
+// device memory alongside the weights — the batch-size cap that guarantees
+// a batch never spills to unified memory when its members individually
+// fit. Always at least 1: a single member that already spills runs alone
+// (and pays the spill penalty it would have paid unbatched).
+func (m Model) MaxBatch(mach platform.Machine, n int) int {
+	act := int64(n) * int64(n) * actBytesPerPairElt
+	if act <= 0 {
+		return 1
+	}
+	b := (mach.GPU.MemBytes - weightBytes) / act
+	if b < 1 {
+		return 1
+	}
+	return int(b)
+}
+
 // Per-layer-class achieved efficiency: fraction of peak tensor throughput
 // and of peak memory bandwidth these kernel shapes sustain. AF3's shapes
 // are narrow (128-wide), so compute efficiency is low; the triangle and
@@ -120,14 +144,27 @@ type LayerTime struct {
 // LayerTimes prices every layer class of a full prediction at n tokens on
 // the machine. spill applies the unified-memory penalty (6QNR on the 4080).
 func (m Model) LayerTimes(mach platform.Machine, n int, spill bool) []LayerTime {
+	return m.layerTimes(mach, n, spill, 1)
+}
+
+// layerTimes is LayerTimes with a batch factor: a batched dispatch moves
+// batch× the flops and bytes through the roofline, but each kernel is
+// launched once per dispatch — the single host dispatch thread issues one
+// (batched) grid per layer, which is exactly how batching amortizes the
+// Figure 8 launch overhead. batch == 1 is bitwise-identical to the
+// unbatched path (multiplying by 1.0 is exact in IEEE arithmetic).
+func (m Model) layerTimes(mach platform.Machine, n int, spill bool, batch int) []LayerTime {
 	gpu := mach.GPU
 	launch := baseLaunchSeconds * (5.6 / mach.CPU.MaxClockGHz)
 	spillFactor := 1.0
 	if spill {
 		spillFactor = gpu.UnifiedMemPenalty
 	}
+	bf := float64(batch)
 	var out []LayerTime
 	price := func(module, layer string, flops, bytes, kernels float64) {
+		flops *= bf
+		bytes *= bf
 		eff := effFor(module, layer)
 		compute := flops / (gpu.TensorTFlops * 1e12 * eff.compute)
 		memory := bytes / (gpu.MemBandwidthGBs * 1e9 * eff.mem)
@@ -200,9 +237,17 @@ type InferenceOptions struct {
 	// state, the Section VI optimization).
 	WarmStart bool
 	// CompileSeconds is the host compile time computed by the CPU model
-	// for this platform (see xla.Compile + simhw). Zero uses a default
-	// derived from the host clock.
+	// for this platform (see xla.Compile + core.CompileSim). Zero charges
+	// no compile time — the caller holds a compiled executable for this
+	// shape (e.g. the serving tier's compiled-graph cache hit). Production
+	// paths always thread the host-profile value through; there is no
+	// clock-ratio fallback.
 	CompileSeconds float64
+	// Recompile charges CompileSeconds on a warm start: the model is
+	// resident (no device init), but this shape bucket has not been
+	// compiled before, so the graph build + XLA compile still runs.
+	// Ignored on cold starts, which always compile.
+	Recompile bool
 }
 
 // hostContention is the per-extra-thread slowdown of dispatch-sensitive
@@ -210,19 +255,36 @@ type InferenceOptions struct {
 const hostContention = 0.015
 
 // Inference prices a full run of the model at n tokens on the machine.
+// It is exactly BatchedInference with a batch of one.
 func Inference(mach platform.Machine, m Model, n int, opts InferenceOptions) (PhaseBreakdown, error) {
+	return BatchedInference(mach, m, n, 1, opts)
+}
+
+// BatchedInference prices one batched dispatch of batch members, each
+// padded to n tokens, on the machine. The fixed Figure 8 costs are paid
+// once per dispatch — device init (cold), XLA compile (cold, or warm with
+// Recompile), per-kernel launch (single host dispatch thread issues one
+// batched grid per layer), and finalize — while roofline compute scales
+// with the batch. The footprint is one weight set plus batch activation
+// sets; a dispatch kept within Model.MaxBatch never spills when its
+// members individually fit. A batch of 1 is bitwise-identical to the
+// unbatched model, so batching changes attribution, never results.
+func BatchedInference(mach platform.Machine, m Model, n, batch int, opts InferenceOptions) (PhaseBreakdown, error) {
 	if err := m.Validate(); err != nil {
 		return PhaseBreakdown{}, err
 	}
 	if n <= 0 {
 		return PhaseBreakdown{}, fmt.Errorf("simgpu: sequence length must be positive, got %d", n)
 	}
+	if batch < 1 {
+		return PhaseBreakdown{}, fmt.Errorf("simgpu: batch size must be positive, got %d", batch)
+	}
 	threads := opts.Threads
 	if threads < 1 {
 		threads = 1
 	}
 	var p PhaseBreakdown
-	p.FootprintBytes = m.MemoryFootprintBytes(n)
+	p.FootprintBytes = m.BatchedFootprintBytes(n, batch)
 	p.Spilled = p.FootprintBytes > mach.GPU.MemBytes
 
 	contention := 1 + hostContention*float64(threads-1)
@@ -232,15 +294,13 @@ func Inference(mach platform.Machine, m Model, n int, opts InferenceOptions) (Ph
 		// (~20 GB/s effective) plus allocator pool warm-up.
 		p.InitSeconds = mach.GPU.InitSeconds + float64(weightBytes)/20e9
 		p.CompileSeconds = opts.CompileSeconds
-		if p.CompileSeconds == 0 {
-			// Fallback: compile rate tracks single-core host speed.
-			p.CompileSeconds = 10 * (5.6 * 3.2) / (mach.CPU.MaxClockGHz * mach.CPU.BaseIPC)
-		}
 		p.InitSeconds *= contention
 		p.CompileSeconds *= contention
+	} else if opts.Recompile {
+		p.CompileSeconds = opts.CompileSeconds * contention
 	}
 
-	for _, l := range m.LayerTimes(mach, n, p.Spilled) {
+	for _, l := range m.layerTimes(mach, n, p.Spilled, batch) {
 		p.ComputeSeconds += l.Seconds
 	}
 	p.ComputeSeconds *= contention

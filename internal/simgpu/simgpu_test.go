@@ -174,6 +174,129 @@ func TestInferenceErrors(t *testing.T) {
 	}
 }
 
+func TestBatchedInferenceOfOneMatchesSingle(t *testing.T) {
+	m := DefaultModel()
+	for _, opts := range []InferenceOptions{
+		{},
+		{Threads: 6, CompileSeconds: 35},
+		{WarmStart: true, Threads: 4},
+		{WarmStart: true, Recompile: true, CompileSeconds: 35},
+	} {
+		for _, mach := range []platform.Machine{platform.Server(), platform.Desktop()} {
+			for _, n := range []int{242, 484, 1395} {
+				single, err := Inference(mach, m, n, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				batched, err := BatchedInference(mach, m, n, 1, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if single != batched {
+					t.Fatalf("%s n=%d opts=%+v: batch-of-1 %+v != single %+v",
+						mach.Name, n, opts, batched, single)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchedOverheadMonotonicallyNonIncreasing(t *testing.T) {
+	m := DefaultModel()
+	mach := platform.Server()
+	for _, n := range []int{242, 484, 881} {
+		limit := m.MaxBatch(mach, n)
+		if limit > 32 {
+			limit = 32
+		}
+		prev := 2.0
+		prevShare := 0.0
+		for b := 1; b <= limit; b++ {
+			pb, err := BatchedInference(mach, m, n, b, InferenceOptions{Threads: 1, CompileSeconds: 35})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f := pb.OverheadFraction(); f > prev {
+				t.Fatalf("n=%d: overhead fraction rose at batch %d: %.4f > %.4f", n, b, f, prev)
+			} else {
+				prev = f
+			}
+			// Per-request amortized cost must also never increase.
+			share := pb.Total() / float64(b)
+			if b > 1 && share > prevShare {
+				t.Fatalf("n=%d: per-request share rose at batch %d: %.2f > %.2f", n, b, share, prevShare)
+			}
+			prevShare = share
+			if pb.Spilled {
+				t.Fatalf("n=%d batch %d spilled within MaxBatch %d", n, b, limit)
+			}
+		}
+	}
+}
+
+func TestMaxBatchCapPreventsSpill(t *testing.T) {
+	m := DefaultModel()
+	srv := platform.Server()
+	limit := m.MaxBatch(srv, 484)
+	if limit < 2 {
+		t.Fatalf("server MaxBatch(484) = %d, want headroom for batching", limit)
+	}
+	at, err := BatchedInference(srv, m, 484, limit, InferenceOptions{CompileSeconds: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Spilled {
+		t.Error("batch at MaxBatch must not spill")
+	}
+	over, err := BatchedInference(srv, m, 484, limit+1, InferenceOptions{CompileSeconds: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !over.Spilled {
+		t.Error("batch beyond MaxBatch must spill")
+	}
+	// A member that individually spills (6QNR on the stock desktop) caps
+	// the batch at 1 — it runs alone.
+	if got := m.MaxBatch(platform.Desktop(), 1395); got != 1 {
+		t.Errorf("desktop MaxBatch(1395) = %d, want 1", got)
+	}
+}
+
+func TestWarmRecompileChargesCompileOnly(t *testing.T) {
+	m := DefaultModel()
+	pb, err := Inference(platform.Server(), m, 484, InferenceOptions{
+		Threads: 2, WarmStart: true, Recompile: true, CompileSeconds: 35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.InitSeconds != 0 {
+		t.Errorf("warm recompile charged init %.1fs", pb.InitSeconds)
+	}
+	want := 35 * (1 + hostContention)
+	if pb.CompileSeconds != want {
+		t.Errorf("warm recompile compile = %v, want %v", pb.CompileSeconds, want)
+	}
+	// Zero CompileSeconds means a compiled executable is on hand: no charge,
+	// cold or warm (the old clock-ratio fallback is gone).
+	cold, err := Inference(platform.Server(), m, 484, InferenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CompileSeconds != 0 {
+		t.Errorf("cold with cached executable charged compile %.1fs", cold.CompileSeconds)
+	}
+	if cold.InitSeconds == 0 {
+		t.Error("cold start must still charge init")
+	}
+}
+
+func TestBatchedInferenceErrors(t *testing.T) {
+	if _, err := BatchedInference(platform.Server(), DefaultModel(), 484, 0, InferenceOptions{}); err == nil {
+		t.Error("zero batch accepted")
+	}
+}
+
 func TestH100FasterThanRTX4080(t *testing.T) {
 	m := DefaultModel()
 	srv := ModuleSeconds(m.LayerTimes(platform.Server(), 857, false))
