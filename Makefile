@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race faults chaos chaos-disk chaos-cluster cluster-smoke bench bench-msa bench-msa-smoke swar-smoke serve-bench serve-smoke cluster-bench bench-batch batch-smoke
+.PHONY: all build test check fmt vet race faults chaos chaos-disk chaos-cluster cluster-smoke fairness bench bench-msa bench-msa-smoke swar-smoke serve-bench serve-smoke cluster-bench bench-batch batch-smoke
 
 all: build
 
@@ -32,7 +32,7 @@ vet:
 # under the race detector on every gate.
 race:
 	$(GO) test -race ./internal/parallel ./internal/tensor ./internal/pairformer ./internal/diffusion ./internal/cache ./internal/batch ./internal/serve ./internal/msa ./internal/cluster
-	$(GO) test -race -run 'Test|Fuzz' ./internal/hmmer ./internal/cachedisk
+	$(GO) test -race -run 'Test|Fuzz' ./internal/hmmer ./internal/cachedisk ./internal/qos
 
 # Fault-injection and degradation suite under the race detector: the
 # resilience package, the cancellation paths through the scan engine, and
@@ -76,7 +76,18 @@ chaos-cluster:
 cluster-smoke:
 	$(GO) test -run 'TestScalingRunSmoke' -count 1 ./cmd/afcluster
 
-check: fmt vet test race faults chaos chaos-disk chaos-cluster cluster-smoke swar-smoke bench-msa-smoke serve-smoke batch-smoke
+# Multi-tenant fairness gate under the race detector: an adversarial
+# screening storm (bursty MMPP arrivals, poly-Q-heavy PPI mix, 10x the
+# victim's offered load) against the tenant-aware scheduler — asserting
+# the protected victim keeps its solo-baseline modeled p95 (<=1.5x) and
+# sheds <5%, the FIFO comparator demonstrably violates both, and the
+# admission/dispatch decision digests reproduce bit-for-bit across a
+# rerun, a different pool size, and batching on/off. A failure
+# reproduces with the printed flag line.
+fairness:
+	$(GO) run -race ./cmd/afload -fairness -seed 7 -threads 2 -msa-workers 4 -gpu-workers 2
+
+check: fmt vet test race faults chaos chaos-disk chaos-cluster cluster-smoke fairness swar-smoke bench-msa-smoke serve-smoke batch-smoke
 
 # Cluster scaling benchmark: the full shards × replicas sweep merged into
 # BENCH_serve.json as the cluster_scaling section (run serve-bench first so

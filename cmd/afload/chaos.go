@@ -194,7 +194,8 @@ func runChaos(o options, out *os.File) error {
 	}
 	for class := range rep.FailedByClass {
 		switch class {
-		case "panic", "timeout", "oom", "overloaded", "fault", "error":
+		case "panic", "timeout", "oom", "overloaded-queue-full",
+			"overloaded-rate-limited", "overloaded-brownout", "fault", "error":
 		default:
 			rep.Violations = append(rep.Violations, fmt.Sprintf("unknown error class %q", class))
 		}

@@ -88,6 +88,10 @@ type options struct {
 	batchBuckets string
 	maxBatch     int
 	batchSweep   bool
+	qosMode      bool
+	fairness     bool
+	tenants      string
+	traceShape   string
 	jsonPath     string
 	// mixSet records whether -mix was given explicitly, so modes with a
 	// better-suited default (the batch sweep wants small inputs) can tell
@@ -119,6 +123,10 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.batchBuckets, "batch-buckets", "", "comma-separated shape-bucket boundaries for -batch (empty = stock bucket set)")
 	fs.IntVar(&o.maxBatch, "max-batch", 0, "cap members per batched dispatch on top of the memory-footprint cap (0 = memory cap only)")
 	fs.BoolVar(&o.batchSweep, "batch-sweep", false, "in-process only: sweep batch size, offered load and bucket count, report the compile-dominated -> compute-dominated crossover, and merge a batch_crossover section into -json")
+	fs.BoolVar(&o.qosMode, "qos", false, "in-process only: drive the trace open-loop through the tenant-aware scheduler (per-tenant admission, WFQ, brownout) and report the fairness block")
+	fs.BoolVar(&o.fairness, "fairness", false, "in-process only: run the adversarial screening-storm fairness gate and exit non-zero if QoS fails to protect the victim tenant")
+	fs.StringVar(&o.tenants, "tenants", "", "-qos tenant spec: 'name:w=8,rps=0.5,n=20,shape=bursty,mix=2PV7:3|7RCE:2;...' (keys w/r/b set the quota, rps/n/shape/mix the offered trace)")
+	fs.StringVar(&o.traceShape, "trace-shape", "", "-qos default arrival shape for tenants without shape= (uniform, bursty, diurnal, heavytail)")
 	fs.StringVar(&o.jsonPath, "json", "", "write the report JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return o, err
@@ -176,6 +184,27 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.ppi > 0 && (explicit["mix"] || explicit["n"]) {
 		return o, fmt.Errorf("-ppi derives the all-vs-all trace itself and overrides -mix and -n; drop them")
+	}
+	if o.qosMode && o.fairness {
+		return o, fmt.Errorf("-qos and -fairness are mutually exclusive (the gate runs its own QoS passes)")
+	}
+	if (o.qosMode || o.fairness) && o.addr != "" {
+		return o, fmt.Errorf("-qos and -fairness need the in-process mode (drop -addr)")
+	}
+	if (o.qosMode || o.fairness) && (o.chaos || o.chaosDisk || o.batchSweep || o.ppi > 0 || o.warm || o.compareCache || o.cacheDir != "") {
+		return o, fmt.Errorf("-qos and -fairness drive their own open-loop tenant traces through a cache-less scheduler; drop -chaos, -chaos-disk, -batch-sweep, -ppi, -warm, -compare-cache and -cache-dir")
+	}
+	if (o.tenants != "" || o.traceShape != "") && !o.qosMode {
+		return o, fmt.Errorf("-tenants and -trace-shape need -qos (the fairness gate fixes its own scenario)")
+	}
+	if o.fairness && (explicit["mix"] || explicit["n"] || o.batch) {
+		return o, fmt.Errorf("-fairness fixes its own victim/storm traces and batching passes; drop -mix, -n and -batch")
+	}
+	if o.qosMode && o.tenants != "" && explicit["n"] {
+		return o, fmt.Errorf("-tenants carries per-tenant request counts (n=); a global -n would be ignored, drop it")
+	}
+	if err := validShape(o.traceShape); err != nil {
+		return o, err
 	}
 	return o, nil
 }
@@ -457,6 +486,9 @@ func runInprocPass(o options, suite *core.Suite, mach platform.Machine, trace []
 	m := s.Metrics()
 	stats.Routing = &serve.RoutingBreakdown{
 		Shed:            m.Get("requests_shed"),
+		ShedQueueFull:   m.Get("requests_shed_queue_full"),
+		ShedRateLimited: m.Get("requests_shed_rate_limited"),
+		ShedBrownout:    m.Get("requests_shed_brownout"),
 		Hedges:          m.Get("msa_hedges"),
 		HedgeBackupWins: m.Get("msa_hedge_backup_wins"),
 		StageRetries:    m.Get("msa_stage_retries"),
@@ -518,6 +550,12 @@ func run(args []string, out *os.File) error {
 	}
 	if o.batchSweep {
 		return runBatchSweep(o, out)
+	}
+	if o.fairness {
+		return runFairness(o, out)
+	}
+	if o.qosMode {
+		return runQoS(o, out)
 	}
 	var trace []string
 	mixLabel := o.mix

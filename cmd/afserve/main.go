@@ -14,6 +14,8 @@
 //	afserve -deadline 30s -cold              # per-request deadline, cold model
 //	afserve -msa-attempts 3 -hedge           # checkpointed retries + hedging
 //	afserve -batch -max-batch 8              # cross-request GPU batching
+//	afserve -qos -tenants 'inter:w=8;storm:w=1,r=400,b=800'
+//	                                         # multi-tenant QoS (X-AF-Tenant)
 //	afserve -faults transient:uniref_s:1     # inject faults (robustness demos)
 //	afserve -breaker-threshold 3 -breaker-cooldown 5s
 //
@@ -42,6 +44,7 @@ import (
 	"afsysbench/internal/cachedisk"
 	"afsysbench/internal/parallel"
 	"afsysbench/internal/platform"
+	"afsysbench/internal/qos"
 	"afsysbench/internal/resilience"
 	"afsysbench/internal/serve"
 	"afsysbench/internal/simgpu"
@@ -76,6 +79,11 @@ type options struct {
 	batch        bool
 	batchBuckets string
 	maxBatch     int
+
+	qos         bool
+	tenants     string
+	qosDrain    float64
+	qosCapacity float64
 }
 
 func parseFlags(args []string) (options, error) {
@@ -99,11 +107,23 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.batch, "batch", false, "enable cross-request GPU batching with the shape-bucketed compile cache")
 	fs.StringVar(&o.batchBuckets, "batch-buckets", "", "comma-separated shape-bucket boundaries for -batch (empty = stock bucket set)")
 	fs.IntVar(&o.maxBatch, "max-batch", 0, "cap members per batched dispatch on top of the memory-footprint cap (0 = memory cap only)")
+	fs.BoolVar(&o.qos, "qos", false, "tenant-aware admission: per-tenant token buckets, weighted-fair MSA queueing and the brownout ladder (tenant from the X-AF-Tenant header)")
+	fs.StringVar(&o.tenants, "tenants", "", "per-tenant quotas for -qos, e.g. 'inter:w=8;storm:w=1,r=400,b=800' (w= weight, r= chain-tokens/s, b= burst)")
+	fs.Float64Var(&o.qosDrain, "qos-drain", 0, "-qos modeled drain rate in chain-tokens per second (0 = stock)")
+	fs.Float64Var(&o.qosCapacity, "qos-capacity", 0, "-qos modeled backlog capacity in chain-tokens (0 = stock)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
 	if !o.batch && (o.batchBuckets != "" || o.maxBatch > 0) {
 		return o, fmt.Errorf("-batch-buckets and -max-batch need -batch")
+	}
+	if !o.qos && (o.tenants != "" || o.qosDrain > 0 || o.qosCapacity > 0) {
+		return o, fmt.Errorf("-tenants, -qos-drain and -qos-capacity need -qos")
+	}
+	if o.tenants != "" {
+		if _, err := qos.ParseTenantSpec(o.tenants); err != nil {
+			return o, err
+		}
 	}
 	if _, err := parseBuckets(o.batchBuckets); err != nil {
 		return o, err
@@ -164,6 +184,21 @@ func buildServer(o options) (*serve.Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var ctrl *qos.Controller
+	if o.qos {
+		var tenants map[string]qos.TenantConfig
+		if o.tenants != "" {
+			tenants, err = qos.ParseTenantSpec(o.tenants)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ctrl = qos.NewController(qos.Config{
+			Tenants:           tenants,
+			DrainTokensPerSec: o.qosDrain,
+			CapacityTokens:    o.qosCapacity,
+		})
+	}
 	return serve.New(serve.Config{
 		Machine:          mach,
 		Threads:          o.threads,
@@ -180,6 +215,7 @@ func buildServer(o options) (*serve.Server, error) {
 		BreakerCooldown:  o.breakerCooldown,
 		Hedge:            serve.HedgeConfig{Enabled: o.hedge},
 		Batch:            serve.BatchConfig{Enabled: o.batch, Buckets: buckets, MaxBatch: o.maxBatch},
+		QoS:              ctrl,
 	})
 }
 

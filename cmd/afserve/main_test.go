@@ -54,3 +54,35 @@ func TestBuildServer(t *testing.T) {
 		t.Fatal("unknown machine accepted")
 	}
 }
+
+func TestQoSFlags(t *testing.T) {
+	if _, err := parseFlags([]string{"-tenants", "a:w=2"}); err == nil {
+		t.Fatal("-tenants without -qos accepted")
+	}
+	if _, err := parseFlags([]string{"-qos-drain", "100"}); err == nil {
+		t.Fatal("-qos-drain without -qos accepted")
+	}
+	if _, err := parseFlags([]string{"-qos", "-tenants", "a:nope=2"}); err == nil {
+		t.Fatal("bad tenant spec accepted")
+	}
+	o, err := parseFlags([]string{"-qos", "-tenants", "inter:w=8;storm:w=1,r=400,b=800", "-qos-drain", "500", "-qos-capacity", "4000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	ctrl := s.Config().QoS
+	if ctrl == nil {
+		t.Fatal("-qos did not attach a controller")
+	}
+	qcfg := ctrl.Config()
+	if qcfg.DrainTokensPerSec != 500 || qcfg.CapacityTokens != 4000 {
+		t.Fatalf("controller config = %+v", qcfg)
+	}
+	if qcfg.Tenants["inter"].Weight != 8 || qcfg.Tenants["storm"].Rate != 400 {
+		t.Fatalf("tenant quotas = %+v", qcfg.Tenants)
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"afsysbench/internal/qos"
+	"afsysbench/internal/resilience"
+	"afsysbench/internal/serve"
+)
+
+// TestRouterSharedQoSController is the cluster leg of the multi-tenant
+// story: replicas behind the router share ONE admission controller, so a
+// tenant spraying the cluster gets exactly its single-system quota, the
+// router treats a QoS shed as final (rerouting would just re-offer an
+// already rejected request on another replica), and the tenant identity
+// survives onto the completed job status.
+func TestRouterSharedQoSController(t *testing.T) {
+	suite := testSuite(t)
+	quota := map[string]qos.TenantConfig{
+		"bulk": {Weight: 1, Rate: 100, Burst: 500},
+	}
+	ctrl := qos.NewController(qos.Config{Tenants: quota, DrainTokensPerSec: 1000})
+	var replicas []*serve.Server
+	for i := 0; i < 2; i++ {
+		s := serve.NewWithSuite(suite, serve.Config{
+			Threads: 2, MSAWorkers: 1, GPUWorkers: 1, QueueDepth: 8, QoS: ctrl,
+		})
+		s.Start()
+		t.Cleanup(s.Stop)
+		replicas = append(replicas, s)
+	}
+	r := NewRouter(replicas, RouterConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	admitted, shed := 0, 0
+	for i := 0; i < 12; i++ {
+		out, err := r.Do(ctx, serve.Request{Sample: "ppi-0x1", Tenant: "bulk", Arrival: float64(i)})
+		switch {
+		case err == nil:
+			admitted++
+			if out.Status.Tenant != "bulk" {
+				t.Fatalf("request %d: status tenant %q, want bulk", i, out.Status.Tenant)
+			}
+		case resilience.IsOverloaded(err):
+			shed++
+			if class := serve.ErrorClass(err); class != "overloaded-rate-limited" {
+				t.Fatalf("request %d: shed class %q, want overloaded-rate-limited", i, class)
+			}
+		default:
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// ppi-0x1 costs ~205 chain-tokens: 11 modeled seconds of refill at
+	// 100 t/s plus the 500-token burst funds ~8 admissions. Independent
+	// per-replica controllers would have admitted twice that (all 12).
+	if shed == 0 || admitted == 12 {
+		t.Fatalf("shared quota not enforced across replicas: %d admitted, %d shed", admitted, shed)
+	}
+	single := qos.NewController(qos.Config{Tenants: quota, DrainTokensPerSec: 1000})
+	singleAdmitted := 0
+	for i := 0; i < 12; i++ {
+		if single.Admit("bulk", float64(i), 205).Admit {
+			singleAdmitted++
+		}
+	}
+	if admitted != singleAdmitted {
+		t.Errorf("sprayed admissions %d != single-system admissions %d — replicas leaked quota", admitted, singleAdmitted)
+	}
+	// A QoS shed is a verdict on the tenant, not the replica: the router
+	// must not have burned attempts rerouting it.
+	if st := r.Stats(); st.ShedReroutes != 0 {
+		t.Errorf("router rerouted %d QoS sheds; rate-limited sheds are final", st.ShedReroutes)
+	}
+}

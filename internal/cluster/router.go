@@ -225,6 +225,15 @@ func (r *Router) Do(ctx context.Context, req serve.Request) (RouteResult, error)
 		if err != nil {
 			lastErr = err
 			if resilience.IsOverloaded(err) {
+				// A QoS shed (rate-limited / brownout) is a verdict on the
+				// tenant, not the replica: replicas share one admission
+				// controller, so every reroute would re-offer an already
+				// rejected request and burn attempts laundering the quota.
+				// Only a queue-full shed is worth trying elsewhere.
+				if reason := resilience.ShedReasonOf(err); reason != resilience.ShedQueueFull {
+					r.finish(time.Since(start), false)
+					return out, err
+				}
 				r.mu.Lock()
 				r.stats.ShedReroutes++
 				r.mu.Unlock()

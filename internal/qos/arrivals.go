@@ -1,0 +1,91 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+
+	"afsysbench/internal/rng"
+)
+
+// Arrival-shape generators for the adversarial trace suite (MLPerf HPC's
+// multi-scenario grounding in PAPERS.md): every generator turns a seeded
+// rng.Source into a strictly ordered arrival-time series on the modeled
+// clock, so traces are pure functions of (shape, n, rate, seed).
+
+// Shapes lists the supported arrival shapes, in flag-help order.
+var Shapes = []string{"uniform", "bursty", "diurnal", "heavytail"}
+
+// Arrivals generates n arrival times (modeled seconds, nondecreasing,
+// starting near 0) at a mean rate of `rate` requests per second:
+//
+//   - uniform: a Poisson process — i.i.d. exponential gaps.
+//   - bursty: a two-state MMPP — the process flickers between a hot state
+//     (4× rate) and a quiet state (rate/4), switching with probability
+//     1/8 per arrival, so load arrives in clumps.
+//   - diurnal: a sinusoidally modulated Poisson process spanning two
+//     "day" cycles over the trace — peak load ~1.8× the mean, trough
+//     ~0.2×.
+//   - heavytail: Pareto gaps (α = 1.5, mean 1/rate, capped at 50/rate) —
+//     most requests arrive back to back, with rare long silences, the
+//     worst case for burst credit.
+//
+// The source is consumed; callers wanting independent tenant streams
+// should Split per tenant.
+func Arrivals(shape string, n int, rate float64, src *rng.Source) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("qos: arrivals need n > 0 (got %d)", n)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("qos: arrivals need rate > 0 (got %g)", rate)
+	}
+	out := make([]float64, n)
+	t := 0.0
+	switch shape {
+	case "", "uniform":
+		for i := range out {
+			t += src.ExpFloat64() / rate
+			out[i] = t
+		}
+	case "bursty":
+		hot := true
+		for i := range out {
+			r := rate * 4
+			if !hot {
+				r = rate / 4
+			}
+			t += src.ExpFloat64() / r
+			out[i] = t
+			if src.Float64() < 0.125 {
+				hot = !hot
+			}
+		}
+	case "diurnal":
+		// Two full cycles over the nominal trace span n/rate; the local
+		// rate is floored at 10% of the mean so the trough cannot stall
+		// the generator.
+		period := float64(n) / rate / 2
+		for i := range out {
+			lam := rate * (1 + 0.8*math.Sin(2*math.Pi*t/period))
+			if lam < 0.1*rate {
+				lam = 0.1 * rate
+			}
+			t += src.ExpFloat64() / lam
+			out[i] = t
+		}
+	case "heavytail":
+		const alpha = 1.5
+		xm := (alpha - 1) / (alpha * rate) // Pareto scale for mean 1/rate
+		for i := range out {
+			u := 1 - src.Float64() // (0, 1]
+			gap := xm * math.Pow(u, -1/alpha)
+			if max := 50 / rate; gap > max {
+				gap = max
+			}
+			t += gap
+			out[i] = t
+		}
+	default:
+		return nil, fmt.Errorf("qos: unknown arrival shape %q (want one of %v)", shape, Shapes)
+	}
+	return out, nil
+}

@@ -1,0 +1,278 @@
+package qos
+
+import (
+	"math"
+	"testing"
+
+	"afsysbench/internal/resilience"
+	"afsysbench/internal/rng"
+)
+
+func TestTokenBucketRefillAndBurst(t *testing.T) {
+	b := NewTokenBucket(100, 200)
+	if !b.Take(200) {
+		t.Fatal("full bucket refused its burst capacity")
+	}
+	if b.Take(1) {
+		t.Fatal("empty bucket granted a token")
+	}
+	b.AdvanceTo(0.5) // +50 tokens
+	if b.Take(51) {
+		t.Fatal("bucket granted more than refilled")
+	}
+	if !b.Take(50) {
+		t.Fatal("bucket refused its refill")
+	}
+	// Refill caps at burst.
+	b.AdvanceTo(100)
+	if got := b.Level(); got != 200 {
+		t.Fatalf("level after long idle = %g, want burst 200", got)
+	}
+	// Monotonic clamp: an earlier arrival mints nothing.
+	if !b.Take(200) {
+		t.Fatal("full bucket refused burst")
+	}
+	b.AdvanceTo(50)
+	if got := b.Level(); got != 0 {
+		t.Fatalf("out-of-order arrival minted %g tokens", got)
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	b := NewTokenBucket(0, 0)
+	for i := 0; i < 5; i++ {
+		if !b.Take(1e12) {
+			t.Fatal("unlimited bucket refused")
+		}
+	}
+	if b.Level() != -1 {
+		t.Fatalf("unlimited level = %g, want -1", b.Level())
+	}
+}
+
+func TestTokenBucketDefaultBurst(t *testing.T) {
+	b := NewTokenBucket(25, 0)
+	if got := b.Level(); got != 100 {
+		t.Fatalf("default burst = %g, want 4s of refill (100)", got)
+	}
+}
+
+// TestAdmitRateLimit: a tenant past its bucket sheds rate-limited while a
+// sibling with quota is untouched.
+func TestAdmitRateLimit(t *testing.T) {
+	c := NewController(Config{
+		Tenants: map[string]TenantConfig{
+			"capped": {Rate: 100, Burst: 100},
+			"free":   {},
+		},
+	})
+	d := c.Admit("capped", 0, 100)
+	if !d.Admit {
+		t.Fatalf("first request within burst shed: %+v", d)
+	}
+	d = c.Admit("capped", 0, 50)
+	if d.Admit || d.Reason != resilience.ShedRateLimited {
+		t.Fatalf("over-bucket request not rate-limited: %+v", d)
+	}
+	if d = c.Admit("free", 0, 5000); !d.Admit {
+		t.Fatalf("unlimited sibling shed: %+v", d)
+	}
+	// Refill restores admission.
+	if d = c.Admit("capped", 1, 100); !d.Admit {
+		t.Fatalf("refilled bucket still shedding: %+v", d)
+	}
+	snap := c.Snapshot()
+	if snap[0].Tenant != "capped" || snap[0].ShedRateLimited != 1 || snap[0].Admitted != 2 {
+		t.Fatalf("capped stats = %+v", snap[0])
+	}
+}
+
+// TestAdmitQueueFull: the modeled backlog bound sheds queue-full once the
+// offered tokens outrun the drain, and recovers as virtual time drains it.
+func TestAdmitQueueFull(t *testing.T) {
+	c := NewController(Config{DrainTokensPerSec: 100, CapacityTokens: 1000})
+	shed := 0
+	for i := 0; i < 20; i++ {
+		d := c.Admit("t", 0, 100) // all at t=0: no drain
+		if !d.Admit {
+			if d.Reason != resilience.ShedQueueFull {
+				t.Fatalf("reason = %v, want queue-full", d.Reason)
+			}
+			shed++
+		}
+	}
+	if shed != 10 {
+		t.Fatalf("shed %d of 20, want the 10 past capacity", shed)
+	}
+	// 5 modeled seconds drain 500 tokens.
+	if d := c.Admit("t", 5, 400); !d.Admit {
+		t.Fatalf("drained backlog still shedding: %+v", d)
+	}
+}
+
+// TestBrownoutDegradesAggressorOnly: at high occupancy the over-quota
+// tenant is degraded (and eventually shed) while the light tenant stays
+// undegraded.
+func TestBrownoutDegradesAggressorOnly(t *testing.T) {
+	c := NewController(Config{
+		Tenants: map[string]TenantConfig{
+			"victim": {Weight: 8},
+			"storm":  {Weight: 1},
+		},
+		DrainTokensPerSec: 100,
+		CapacityTokens:    1000,
+	})
+	// Interleave: storm floods, victim trickles. First storm request at
+	// occupancy 0 admits clean; as backlog climbs the rungs engage.
+	var stormLevels []Level
+	stormShed := 0
+	for i := 0; i < 15; i++ {
+		if d := c.Admit("victim", 0, 10); !d.Admit {
+			t.Fatalf("victim shed at i=%d: %+v", i, d)
+		} else if d.Level != LevelNone {
+			t.Fatalf("victim degraded at i=%d: %+v", i, d)
+		}
+		d := c.Admit("storm", 0, 70)
+		if d.Admit {
+			stormLevels = append(stormLevels, d.Level)
+		} else {
+			if d.Reason != resilience.ShedBrownout && d.Reason != resilience.ShedQueueFull {
+				t.Fatalf("storm shed with reason %v", d.Reason)
+			}
+			if d.Reason == resilience.ShedBrownout {
+				stormShed++
+			}
+		}
+	}
+	sawDegraded := false
+	for _, l := range stormLevels {
+		if l > LevelNone {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Fatalf("storm never degraded; levels %v", stormLevels)
+	}
+	if stormShed == 0 {
+		t.Fatal("storm never brownout-shed at top occupancy")
+	}
+}
+
+// TestFIFOModeDisablesQoS: FIFO keeps only the modeled queue bound; no
+// rate limiting, no brownout, equal weights.
+func TestFIFOModeDisablesQoS(t *testing.T) {
+	c := NewController(Config{
+		Tenants:           map[string]TenantConfig{"capped": {Rate: 1, Burst: 1, Weight: 9}},
+		FIFO:              true,
+		DrainTokensPerSec: 100,
+		CapacityTokens:    1000,
+	})
+	if d := c.Admit("capped", 0, 900); !d.Admit || d.Level != LevelNone {
+		t.Fatalf("FIFO applied QoS machinery: %+v", d)
+	}
+	if d := c.Admit("capped", 0, 200); d.Admit || d.Reason != resilience.ShedQueueFull {
+		t.Fatalf("FIFO queue bound missing: %+v", d)
+	}
+	if w := c.Weight("capped"); w != 1 {
+		t.Fatalf("FIFO weight = %g, want flattened 1", w)
+	}
+}
+
+// TestDecisionDigestReproducible: same trace, same config => same digest;
+// a different trace diverges.
+func TestDecisionDigestReproducible(t *testing.T) {
+	run := func(costs []float64) string {
+		c := NewController(Config{
+			Tenants:           map[string]TenantConfig{"a": {Rate: 500}, "b": {Weight: 2}},
+			DrainTokensPerSec: 300,
+			CapacityTokens:    2000,
+		})
+		for i, cost := range costs {
+			tenant := "a"
+			if i%3 == 0 {
+				tenant = "b"
+			}
+			c.Admit(tenant, float64(i)/7, cost)
+			c.RecordDispatch(tenant, i)
+		}
+		return c.DecisionDigest() + "/" + c.DispatchDigest()
+	}
+	costs := []float64{300, 120, 900, 40, 40, 700, 250, 80, 600, 310}
+	d1, d2 := run(costs), run(costs)
+	if d1 != d2 {
+		t.Fatalf("digests diverged on identical traces: %s vs %s", d1, d2)
+	}
+	costs[4] = 41
+	if d3 := run(costs); d3 == d1 {
+		t.Fatal("digest blind to a changed trace")
+	}
+}
+
+func TestParseTenantSpec(t *testing.T) {
+	got, err := ParseTenantSpec("inter:w=8,r=800;storm:w=1,r=400,b=800; plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]TenantConfig{
+		"inter": {Weight: 8, Rate: 800},
+		"storm": {Weight: 1, Rate: 400, Burst: 800},
+		"plain": {},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d tenants, want %d", len(got), len(want))
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Fatalf("tenant %s = %+v, want %+v", name, got[name], w)
+		}
+	}
+	for _, bad := range []string{
+		"", ";;", ":w=1", "a:w", "a:w=x", "a:w=-1", "a:zz=1", "a:w=1;a:w=2", "a:w=NaN",
+	} {
+		if _, err := ParseTenantSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestArrivalShapes(t *testing.T) {
+	for _, shape := range Shapes {
+		src := rng.New(42).Split(0xA221)
+		ts, err := Arrivals(shape, 500, 4, src)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if len(ts) != 500 {
+			t.Fatalf("%s: %d arrivals", shape, len(ts))
+		}
+		for i, x := range ts {
+			if math.IsNaN(x) || x < 0 {
+				t.Fatalf("%s: bad arrival %g", shape, x)
+			}
+			if i > 0 && x < ts[i-1] {
+				t.Fatalf("%s: arrivals not monotonic at %d", shape, i)
+			}
+		}
+		// Mean rate within a loose band of the nominal 4/s.
+		rate := float64(len(ts)) / ts[len(ts)-1]
+		if rate < 1 || rate > 16 {
+			t.Fatalf("%s: realized rate %.2f wildly off nominal 4", shape, rate)
+		}
+		// Determinism.
+		ts2, _ := Arrivals(shape, 500, 4, rng.New(42).Split(0xA221))
+		for i := range ts {
+			if ts[i] != ts2[i] {
+				t.Fatalf("%s: arrivals not deterministic at %d", shape, i)
+			}
+		}
+	}
+	if _, err := Arrivals("square-wave", 10, 1, rng.New(1)); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+	if _, err := Arrivals("uniform", 0, 1, rng.New(1)); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Arrivals("uniform", 10, 0, rng.New(1)); err == nil {
+		t.Fatal("rate=0 accepted")
+	}
+}

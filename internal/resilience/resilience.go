@@ -144,27 +144,83 @@ func IsPanic(err error) bool {
 	return errors.As(err, &ep)
 }
 
-// ErrOverloaded is the admission-control shed error: a serving queue was
-// full when the request arrived, so it was rejected deterministically at
-// the door instead of growing an unbounded backlog. Callers (HTTP 503,
-// load generators) treat it as a distinct outcome class from failures —
-// the request was never started.
+// ShedReason classifies why admission control rejected a request. The
+// single "overloaded" bucket of the pre-QoS serving tier told operators
+// nothing actionable; the three classes here separate "the system is full"
+// (queue-full — add capacity or wait) from "you are over your quota"
+// (rate-limited — the tenant's token bucket was empty) from "the system is
+// browning out and you were chosen" (brownout — over-quota tenants are
+// shed first when global occupancy crosses the top ladder rung).
+type ShedReason int
+
+const (
+	// ShedQueueFull: the shared admission queue (or the modeled backlog
+	// bound) had no room. The zero value, so pre-QoS shed sites keep their
+	// historical meaning.
+	ShedQueueFull ShedReason = iota
+	// ShedRateLimited: the tenant's admission token bucket could not cover
+	// the request's cost — the tenant exceeded its provisioned rate.
+	ShedRateLimited
+	// ShedBrownout: global occupancy crossed the shed rung of the brownout
+	// ladder and the tenant was over its fair share, so it absorbed the
+	// rejection while in-quota tenants kept being admitted.
+	ShedBrownout
+)
+
+// String implements fmt.Stringer.
+func (r ShedReason) String() string {
+	switch r {
+	case ShedQueueFull:
+		return "queue-full"
+	case ShedRateLimited:
+		return "rate-limited"
+	case ShedBrownout:
+		return "brownout"
+	default:
+		return fmt.Sprintf("ShedReason(%d)", int(r))
+	}
+}
+
+// ErrOverloaded is the admission-control shed error: the request was
+// rejected deterministically at the door instead of growing an unbounded
+// backlog — a full serving queue, an empty tenant token bucket, or a
+// brownout decision. Callers (HTTP 503, load generators) treat it as a
+// distinct outcome class from failures — the request was never started.
 type ErrOverloaded struct {
 	// Queued is the queue occupancy observed at rejection time.
 	Queued int
 	// Capacity is the configured queue bound.
 	Capacity int
+	// Reason is the shed class; the zero value (queue-full) preserves the
+	// pre-QoS meaning of the error.
+	Reason ShedReason
+	// Tenant is the shed tenant ("" for untenanted requests).
+	Tenant string
 }
 
 // Error implements error.
 func (e ErrOverloaded) Error() string {
-	return fmt.Sprintf("resilience: overloaded: admission queue full (%d/%d)", e.Queued, e.Capacity)
+	msg := fmt.Sprintf("resilience: overloaded (%s)", e.Reason)
+	if e.Tenant != "" {
+		msg += " tenant " + e.Tenant
+	}
+	return msg + fmt.Sprintf(": admission queue %d/%d", e.Queued, e.Capacity)
 }
 
 // IsOverloaded reports whether err is an admission-control rejection.
 func IsOverloaded(err error) bool {
 	var eo ErrOverloaded
 	return errors.As(err, &eo)
+}
+
+// ShedReasonOf extracts the shed class from an admission rejection
+// (queue-full for non-overload errors, matching the zero value).
+func ShedReasonOf(err error) ShedReason {
+	var eo ErrOverloaded
+	if errors.As(err, &eo) {
+		return eo.Reason
+	}
+	return ShedQueueFull
 }
 
 // ErrStageTimeout is returned when a pipeline stage cannot complete inside
@@ -287,6 +343,11 @@ const (
 	// retried from its checkpoint (completed chains replayed, only the
 	// failed chain re-run).
 	KindChainRetry
+	// KindBrownout: the request ran degraded by the multi-tenant brownout
+	// ladder — its tenant was over quota while global occupancy was high,
+	// so hedging was disabled, its batch bucket capped, or its MSA budget
+	// tightened onto the DB-drop ladder. The Detail names the rung.
+	KindBrownout
 )
 
 // String implements fmt.Stringer.
@@ -312,6 +373,8 @@ func (k Kind) String() string {
 		return "breaker-skip"
 	case KindChainRetry:
 		return "chain-retry"
+	case KindBrownout:
+		return "brownout"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -32,6 +32,7 @@ import (
 	"afsysbench/internal/cache"
 	"afsysbench/internal/core"
 	"afsysbench/internal/platform"
+	"afsysbench/internal/qos"
 	"afsysbench/internal/resilience"
 	"afsysbench/internal/simgpu"
 )
@@ -179,6 +180,25 @@ func (s *Server) batchDispatcher() {
 		}
 		tokens := job.in.TotalResidues()
 		bucket := s.policy.PadTo(tokens)
+		// The batch-cap brownout rung: an over-quota job under load
+		// dispatches as a singleton — it cannot inflate a shared batch's
+		// bucket (and padding waste) for fair-share tenants.
+		if job.qosLevel >= qos.LevelBatchCap {
+			seal()
+			open = &inferenceBatch{
+				id:      fmt.Sprintf("b%04d", seq),
+				bucket:  bucket,
+				machine: job.machine,
+				threads: job.threads,
+				jobs:    []*Job{job},
+			}
+			seq++
+			s.mu.Lock()
+			s.meter.ObserveJob(bucket, tokens)
+			s.mu.Unlock()
+			seal()
+			return
+		}
 		if open != nil && (open.bucket != bucket || open.machine.Name != job.machine.Name || open.threads != job.threads) {
 			seal()
 		}

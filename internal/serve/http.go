@@ -7,6 +7,7 @@ import (
 
 	"afsysbench/internal/cache"
 	"afsysbench/internal/cachedisk"
+	"afsysbench/internal/qos"
 	"afsysbench/internal/resilience"
 	"afsysbench/internal/stats"
 )
@@ -23,6 +24,9 @@ type SubmitRequest struct {
 	// TimeoutMs is the per-request wall deadline in milliseconds
 	// (0 = server default).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Tenant names the submitting tenant (QoS mode). The X-AF-Tenant
+	// header takes precedence; "" maps to "default".
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // SubmitResponse is the POST /v1/submit success payload.
@@ -55,6 +59,10 @@ type MetricsSnapshot struct {
 	// unless cross-request batching is enabled).
 	CompileCache *cache.Stats `json:"compile_cache,omitempty"`
 	Latency      Percentiles  `json:"latency"`
+	// Tenants is the per-tenant QoS accounting — offered, admitted,
+	// per-reason sheds, brownout degradations, live token-bucket level
+	// (nil without Config.QoS).
+	Tenants []qos.TenantStats `json:"tenants,omitempty"`
 }
 
 // MetricsSnapshot assembles the current metrics view.
@@ -80,6 +88,9 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	if s.compileCache != nil {
 		cs := s.compileCache.Stats()
 		snap.CompileCache = &cs
+	}
+	if s.qosEnabled() {
+		snap.Tenants = s.cfg.QoS.Snapshot()
 	}
 	return snap
 }
@@ -119,10 +130,17 @@ func NewHandler(s *Server) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 			return
 		}
+		tenant := req.Tenant
+		if h := r.Header.Get("X-AF-Tenant"); h != "" {
+			tenant = h
+		}
 		id, err := s.Submit(Request{
 			Sample:  req.Sample,
 			Threads: req.Threads,
 			Timeout: msToDuration(req.TimeoutMs),
+			Tenant:  tenant,
+			// Live HTTP traffic stamps arrivals from the wall clock.
+			Arrival: -1,
 		})
 		if err != nil {
 			if resilience.IsOverloaded(err) {

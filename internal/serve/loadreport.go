@@ -51,16 +51,25 @@ type LoadStats struct {
 	// batch size, overhead fraction, padding waste, compile-cache counters
 	// (nil when batching is disabled).
 	Batch *BatchReport `json:"batch,omitempty"`
+	// Fairness is the per-tenant QoS outcome — admission accounting,
+	// modeled per-tenant latency, decision/dispatch digests (nil without
+	// Config.QoS).
+	Fairness *FairnessReport `json:"fairness,omitempty"`
 }
 
 // RoutingBreakdown is the one-stop routing section of a load report: every
 // way a request was steered somewhere other than the happy path, plus the
 // per-shard dispatch table when a cluster scatter layer is attached.
 type RoutingBreakdown struct {
-	// Shed counts admission rejections (queue full); ShedReroutes counts
+	// Shed counts admission rejections; ShedQueueFull/ShedRateLimited/
+	// ShedBrownout split them by resilience.ShedReason (rate-limited and
+	// brownout only occur in QoS mode). ShedReroutes counts
 	// cluster-router attempts that landed on another replica after a shed.
-	Shed         int64 `json:"shed"`
-	ShedReroutes int64 `json:"shed_reroutes,omitempty"`
+	Shed            int64 `json:"shed"`
+	ShedQueueFull   int64 `json:"shed_queue_full,omitempty"`
+	ShedRateLimited int64 `json:"shed_rate_limited,omitempty"`
+	ShedBrownout    int64 `json:"shed_brownout,omitempty"`
+	ShedReroutes    int64 `json:"shed_reroutes,omitempty"`
 	// Hedges/HedgeBackupWins count chain-level hedged retries and how often
 	// the backup finished first.
 	Hedges          int64 `json:"hedges"`
@@ -115,6 +124,9 @@ type LoadReport struct {
 	WithCache *LoadStats `json:"with_cache,omitempty"`
 	NoCache   *LoadStats `json:"no_cache,omitempty"`
 	Baseline  *LoadStats `json:"request_keyed_baseline,omitempty"`
+	// QoS is the tenant-aware open-loop pass (afload -qos): its stats
+	// carry the per-tenant fairness block.
+	QoS *LoadStats `json:"qos,omitempty"`
 	// ThroughputSpeedup is with-cache throughput over no-cache throughput
 	// (>1 means the cache pays for itself). MakespanImprovement is the
 	// request-keyed baseline's modeled makespan over the chain-keyed

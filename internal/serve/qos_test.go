@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"afsysbench/internal/inputs"
+	"afsysbench/internal/qos"
+	"afsysbench/internal/resilience"
+)
+
+// qosEvent is one open-loop submission: tenant, sample, modeled arrival.
+type qosTestEvent struct {
+	tenant  string
+	sample  string
+	arrival float64
+}
+
+// runQoSTrace builds a QoS server around a fresh controller, submits the
+// events open-loop (all before Start, so WFQ pop order is a pure function
+// of the push history), drains it, and returns the server for inspection.
+func runQoSTrace(t *testing.T, qcfg qos.Config, scfg Config, events []qosTestEvent) *Server {
+	t.Helper()
+	scfg.QoS = qos.NewController(qcfg)
+	s := newTestServer(t, scfg)
+	for _, ev := range events {
+		_, err := s.Submit(Request{Sample: ev.sample, Tenant: ev.tenant, Arrival: ev.arrival})
+		if err != nil && !resilience.IsOverloaded(err) {
+			t.Fatalf("submit %s for %s: %v", ev.sample, ev.tenant, err)
+		}
+	}
+	s.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+	return s
+}
+
+// contendedEvents interleaves two tenants with enough pressure (a tight
+// bucket on "bulk" plus a low drain rate) that the decision stream
+// contains admits, rate-limited sheds and brownout degradations — a digest
+// over it is sensitive to any reordering.
+func contendedEvents() []qosTestEvent {
+	var events []qosTestEvent
+	for i := 0; i < 10; i++ {
+		events = append(events, qosTestEvent{"inter", "ppi-0x1", float64(i) * 1.5})
+		events = append(events, qosTestEvent{"bulk", "ppi-2x3", float64(i) * 0.4})
+		events = append(events, qosTestEvent{"bulk", "ppi-4x5", float64(i)*0.4 + 0.2})
+	}
+	return events
+}
+
+func contendedConfig() qos.Config {
+	return qos.Config{
+		Tenants: map[string]qos.TenantConfig{
+			"inter": {Weight: 4},
+			"bulk":  {Weight: 1, Rate: 120, Burst: 240},
+		},
+		DrainTokensPerSec: 150,
+		CapacityTokens:    2000,
+	}
+}
+
+// TestQoSDeterminismAcrossPoolSizes is the QoS analogue of the scheduler's
+// core contract: the admit/shed decision sequence and the WFQ dispatch
+// order are bitwise identical whatever the pool sizes and whether or not
+// cross-request batching is enabled.
+func TestQoSDeterminismAcrossPoolSizes(t *testing.T) {
+	events := contendedEvents()
+	configs := []Config{
+		{Threads: 4, MSAWorkers: 1, GPUWorkers: 1},
+		{Threads: 4, MSAWorkers: 8, GPUWorkers: 2},
+		{Threads: 4, MSAWorkers: 2, GPUWorkers: 1, Batch: BatchConfig{Enabled: true}},
+	}
+	var want *FairnessReport
+	for ci, cfg := range configs {
+		s := runQoSTrace(t, contendedConfig(), cfg, events)
+		rep := s.FairnessReport(4, 2)
+		if rep == nil {
+			t.Fatal("QoS server must produce a fairness report")
+		}
+		if ci == 0 {
+			if bulk := rep.Stats("bulk"); bulk.ShedRateLimited == 0 {
+				t.Fatalf("scenario too gentle: bulk tenant was never rate-limited: %+v", bulk)
+			}
+			want = rep
+			continue
+		}
+		if rep.DecisionDigest != want.DecisionDigest {
+			t.Errorf("config %d: decision digest %s != %s", ci, rep.DecisionDigest, want.DecisionDigest)
+		}
+		if rep.DispatchDigest != want.DispatchDigest {
+			t.Errorf("config %d: dispatch digest %s != %s", ci, rep.DispatchDigest, want.DispatchDigest)
+		}
+		for _, tenant := range []string{"inter", "bulk"} {
+			got, ref := rep.Stats(tenant), want.Stats(tenant)
+			if got.Admitted != ref.Admitted || got.Shed() != ref.Shed() || got.Degraded() != ref.Degraded() {
+				t.Errorf("config %d tenant %s: admitted/shed/degraded %d/%d/%d != %d/%d/%d",
+					ci, tenant, got.Admitted, got.Shed(), got.Degraded(),
+					ref.Admitted, ref.Shed(), ref.Degraded())
+			}
+		}
+	}
+}
+
+// TestQoSStarvationRegression pins the WFQ's reason to exist: an aggressor
+// offering 100x the victim's request count (and ~40x its chain-tokens)
+// must not starve the victim. Every victim request is admitted, completes,
+// and its modeled tail latency stays below the aggressor's — the victim's
+// weight buys it the front of the queue, while the aggressor's quota eats
+// the excess.
+func TestQoSStarvationRegression(t *testing.T) {
+	var events []qosTestEvent
+	for i := 0; i < 4; i++ {
+		events = append(events, qosTestEvent{"victim", "2PV7", float64(i)})
+	}
+	for i := 0; i < 400; i++ {
+		events = append(events, qosTestEvent{"aggr", "ppi-0x1", float64(i) * 0.05})
+	}
+	qcfg := qos.Config{
+		Tenants: map[string]qos.TenantConfig{
+			"victim": {Weight: 8},
+			"aggr":   {Weight: 1, Rate: 150, Burst: 300},
+		},
+	}
+	s := runQoSTrace(t, qcfg, Config{Threads: 4, MSAWorkers: 2, GPUWorkers: 1}, events)
+	rep := s.FairnessReport(4, 2)
+
+	vs := rep.Stats("victim")
+	if vs.Offered != 4 || vs.Admitted != 4 || vs.Shed() != 0 {
+		t.Fatalf("victim must be fully admitted under the storm: %+v", vs)
+	}
+	for _, st := range s.Statuses() {
+		if st.Tenant == "victim" && st.State != "done" {
+			t.Fatalf("victim job %s stuck in state %s", st.ID, st.State)
+		}
+	}
+	as := rep.Stats("aggr")
+	if as.ShedRateLimited == 0 {
+		t.Fatalf("aggressor must be rate-limited by its quota: %+v", as)
+	}
+	victim, aggr := rep.TenantRow("victim"), rep.TenantRow("aggr")
+	if victim.Completed != 4 {
+		t.Fatalf("victim completed %d of 4", victim.Completed)
+	}
+	if victim.Latency.P95Ms >= aggr.Latency.P95Ms {
+		t.Errorf("victim p95 %.0fms not below aggressor p95 %.0fms — WFQ is not protecting the victim",
+			victim.Latency.P95Ms, aggr.Latency.P95Ms)
+	}
+}
+
+// TestQoSSharedControllerAcrossReplicas models the cluster deployment: R
+// replicas behind a router share ONE controller, so a tenant spraying all
+// replicas still gets exactly its single-system quota — not R times it.
+func TestQoSSharedControllerAcrossReplicas(t *testing.T) {
+	ctrl := qos.NewController(qos.Config{
+		Tenants:           map[string]qos.TenantConfig{"bulk": {Weight: 1, Rate: 100, Burst: 500}},
+		DrainTokensPerSec: 1000,
+	})
+	var replicas []*Server
+	for i := 0; i < 3; i++ {
+		s := newTestServer(t, Config{Threads: 4, MSAWorkers: 1, GPUWorkers: 1, QoS: ctrl})
+		s.Start()
+		replicas = append(replicas, s)
+	}
+	// 30 spray submissions, round-robin over replicas, one modeled second
+	// apart: the shared bucket admits burst (500 tokens) plus 100
+	// tokens/sec of refill regardless of which replica fields the request.
+	admitted := 0
+	for i := 0; i < 30; i++ {
+		_, err := replicas[i%3].Submit(Request{Sample: "ppi-0x1", Tenant: "bulk", Arrival: float64(i)})
+		if err == nil {
+			admitted++
+		} else if !resilience.IsOverloaded(err) {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	for _, s := range replicas {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		if err := s.WaitIdle(ctx); err != nil {
+			t.Fatalf("WaitIdle: %v", err)
+		}
+		cancel()
+	}
+	// ppi-0x1 costs ~205 chain-tokens; 29 modeled seconds of refill at 100
+	// t/s plus the 500-token burst funds ~16 admissions. Three independent
+	// controllers would have admitted three times that (45 > 30, i.e. all).
+	if admitted == 30 {
+		t.Fatal("shared controller failed to limit a tenant spraying replicas (all 30 admitted)")
+	}
+	single := qos.NewController(qos.Config{
+		Tenants:           map[string]qos.TenantConfig{"bulk": {Weight: 1, Rate: 100, Burst: 500}},
+		DrainTokensPerSec: 1000,
+	})
+	in, err := inputs.ByName("ppi-0x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := float64(in.TotalResidues())
+	singleAdmitted := 0
+	for i := 0; i < 30; i++ {
+		if single.Admit("bulk", float64(i), cost).Admit {
+			singleAdmitted++
+		}
+	}
+	if admitted != singleAdmitted {
+		t.Errorf("sprayed admissions %d != single-system admissions %d — replicas leaked quota", admitted, singleAdmitted)
+	}
+}

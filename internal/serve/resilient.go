@@ -272,7 +272,15 @@ func (s *Server) Ready() Readiness {
 		QueueDepth:    len(s.msaQ),
 		QueueCapacity: cap(s.msaQ),
 	}
-	r.QueueSaturated = r.QueueDepth >= r.QueueCapacity
+	if s.wfq != nil {
+		// QoS mode: the WFQ holds the MSA backlog; saturation is judged by
+		// the controller's modeled occupancy, the same signal admission
+		// sheds on.
+		r.QueueDepth = s.wfq.Len()
+		r.QueueSaturated = s.cfg.QoS.Occupancy() >= 1
+	} else {
+		r.QueueSaturated = r.QueueDepth >= r.QueueCapacity
+	}
 	for name, b := range s.breakers {
 		snap := b.Snapshot()
 		if snap.State == resilience.BreakerClosed.String() {

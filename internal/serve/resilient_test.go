@@ -37,7 +37,10 @@ func TestErrorClassTable(t *testing.T) {
 		{"chain fault", &resilience.FaultError{Class: resilience.ChainTransient, DB: "chain/B", Attempt: 1}, "fault"},
 		{"wrapped chain fault", fmt.Errorf("msa 1YY9 chain B: %w", &resilience.FaultError{Class: resilience.ChainTransient, DB: "chain/B"}), "fault"},
 		{"db unavailable", resilience.ErrDBUnavailable{DB: "uniref_s", Attempts: 4, Cause: &resilience.FaultError{Class: resilience.Permanent, DB: "uniref_s"}}, "fault"},
-		{"overloaded", resilience.ErrOverloaded{Queued: 64, Capacity: 64}, "overloaded"},
+		{"overloaded queue-full", resilience.ErrOverloaded{Queued: 64, Capacity: 64}, "overloaded-queue-full"},
+		{"overloaded rate-limited", resilience.ErrOverloaded{Reason: resilience.ShedRateLimited, Tenant: "storm"}, "overloaded-rate-limited"},
+		{"overloaded brownout", resilience.ErrOverloaded{Reason: resilience.ShedBrownout, Tenant: "storm"}, "overloaded-brownout"},
+		{"wrapped overloaded", fmt.Errorf("submit: %w", resilience.ErrOverloaded{Reason: resilience.ShedRateLimited}), "overloaded-rate-limited"},
 		{"budget timeout", resilience.ErrStageTimeout{Stage: "inference", BudgetSeconds: 1, NeedSeconds: 2}, "timeout"},
 		{"deadline timeout", resilience.ErrStageTimeout{Stage: "msa", Cause: context.DeadlineExceeded}, "timeout"},
 		{"raw deadline", context.DeadlineExceeded, "timeout"},

@@ -48,6 +48,7 @@ import (
 	"afsysbench/internal/msa"
 	"afsysbench/internal/parallel"
 	"afsysbench/internal/platform"
+	"afsysbench/internal/qos"
 	"afsysbench/internal/resilience"
 	"afsysbench/internal/rng"
 	"afsysbench/internal/simgpu"
@@ -106,6 +107,15 @@ type Request struct {
 	// finished — cross-replica checkpointed failover. nil keeps the
 	// server-internal behavior (a private checkpoint when MSAAttempts > 1).
 	Checkpoint *msa.Checkpoint
+	// Tenant is the submitting tenant's ID (QoS mode; "" maps to
+	// "default"). Ignored without Config.QoS.
+	Tenant string
+	// Arrival is the request's modeled arrival time in seconds (QoS mode):
+	// the virtual clock the token buckets refill on and the brownout
+	// backlog drains on. Negative stamps the wall clock (seconds since the
+	// server was built) — the live-traffic path. Ignored without
+	// Config.QoS.
+	Arrival float64
 }
 
 // Config tunes a Server. Zero values mean: paper Server platform, AF3's
@@ -194,6 +204,20 @@ type Config struct {
 	// compiled-graph cache (see batch.go). Zero value: every inference
 	// dispatches alone.
 	Batch BatchConfig
+	// QoS enables multi-tenant admission and weighted-fair MSA dispatch
+	// (see qos.go): requests carry a tenant ID and modeled arrival, the
+	// controller decides admit/shed/degrade on its virtual clock, and the
+	// FIFO MSA queue becomes a deficit-round-robin WFQ over chain-token
+	// costs. The controller is deliberately shareable across replicas (one
+	// quota cluster-wide). nil keeps the legacy channel-based admission.
+	QoS *qos.Controller
+	// BrownoutMSABudget is the modeled MSA budget (seconds) imposed on
+	// requests degraded to qos.LevelDropDB, engaging the database-drop
+	// degradation ladder for over-quota tenants under brownout (default
+	// 300s — under the full-profile cost of the large Table II samples,
+	// above the small ones; an explicit Budget.MSASeconds tighter than
+	// this wins).
+	BrownoutMSABudget float64
 }
 
 func (c Config) withDefaults() Config {
@@ -223,6 +247,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 10 * time.Second
+	}
+	if c.BrownoutMSABudget <= 0 {
+		c.BrownoutMSABudget = 300
 	}
 	return c
 }
@@ -280,6 +307,14 @@ type Job struct {
 	batchID      string
 	batchSize    int
 	bucketTokens int
+	// tenant/arrival/qosLevel/dispatchSeq are the QoS coordinates (QoS
+	// mode only): the owning tenant, the modeled arrival the admission
+	// decision ran at, the brownout rung the request runs under, and the
+	// WFQ dispatch sequence number assigned at pop time.
+	tenant      string
+	arrival     float64
+	qosLevel    qos.Level
+	dispatchSeq int
 }
 
 // JobStatus is a point-in-time snapshot of one job, also the HTTP
@@ -315,6 +350,10 @@ type JobStatus struct {
 	BatchID      string `json:"batch_id,omitempty"`
 	BatchSize    int    `json:"batch_size,omitempty"`
 	BucketTokens int    `json:"bucket_tokens,omitempty"`
+	// Tenant is the owning tenant (QoS mode); QoSLevel the brownout rung
+	// the request ran under ("" when none applied).
+	Tenant   string `json:"tenant,omitempty"`
+	QoSLevel string `json:"qos_level,omitempty"`
 	// PartialMSA marks a result computed with databases skipped by an
 	// open circuit breaker (a strict subset of Degraded).
 	PartialMSA bool    `json:"partial_msa,omitempty"`
@@ -349,6 +388,13 @@ type Server struct {
 	infQ chan *Job
 	wgA  sync.WaitGroup // MSA workers
 	wgB  sync.WaitGroup // GPU workers
+
+	// wfq replaces msaQ as the MSA dispatch queue in QoS mode: per-tenant
+	// FIFO sub-queues drained by deficit round-robin over chain-token
+	// costs (nil without Config.QoS). epoch anchors wall-clock arrival
+	// stamps for live HTTP traffic.
+	wfq   *qos.WFQ[*Job]
+	epoch time.Time
 
 	// Batching tier (nil/zero unless cfg.Batch.Enabled; see batch.go).
 	// policy pads token counts into shape buckets; the dispatcher
@@ -402,6 +448,10 @@ func NewWithSuite(suite *core.Suite, cfg Config) *Server {
 	}
 	s.killCtx, s.killCancel = context.WithCancel(context.Background())
 	s.idle.L = &s.mu
+	if cfg.QoS != nil {
+		s.wfq = qos.NewWFQ[*Job](0, cfg.QoS.Weight)
+		s.epoch = time.Now()
+	}
 	s.initBreakers()
 	s.initBatching()
 	if cfg.Cache != nil && cfg.DiskCache != nil {
@@ -465,6 +515,11 @@ func (s *Server) Stop() {
 	s.stopped = true
 	started := s.started
 	s.mu.Unlock()
+	if s.wfq != nil {
+		// QoS mode: the WFQ is the MSA dispatch queue — closing it drains
+		// the backlog and releases the pool.
+		s.wfq.Close()
+	}
 	close(s.msaQ)
 	if started {
 		s.wgA.Wait()
@@ -533,11 +588,53 @@ func (s *Server) Submit(req Request) (string, error) {
 	} else if s.cfg.MSAAttempts > 1 {
 		job.checkpoint = msa.NewCheckpoint()
 	}
-	select {
-	case s.msaQ <- job:
-	default:
-		s.cfg.Metrics.Add("requests_shed", 1)
-		return "", resilience.ErrOverloaded{Queued: len(s.msaQ), Capacity: cap(s.msaQ)}
+	if s.qosEnabled() {
+		// Tenant-aware admission: the controller decides on its modeled
+		// clock — rate limit, modeled queue bound, brownout ladder — and an
+		// admitted job enters the weighted-fair queue at its chain-token
+		// cost instead of the FIFO channel.
+		tenant := req.Tenant
+		if tenant == "" {
+			tenant = "default"
+		}
+		arrival := req.Arrival
+		if arrival < 0 {
+			arrival = time.Since(s.epoch).Seconds()
+		}
+		cost := float64(in.TotalResidues())
+		d := s.cfg.QoS.Admit(tenant, arrival, cost)
+		if !d.Admit {
+			s.cfg.Metrics.Add("requests_shed", 1)
+			s.cfg.Metrics.Add(qosReasonCounter(d.Reason.String()), 1)
+			return "", resilience.ErrOverloaded{
+				Queued:   int(d.Backlog),
+				Capacity: int(d.Capacity),
+				Reason:   d.Reason,
+				Tenant:   tenant,
+			}
+		}
+		job.tenant = tenant
+		job.arrival = arrival
+		job.qosLevel = d.Level
+		if d.Level > qos.LevelNone {
+			s.cfg.Metrics.Add("requests_brownout", 1)
+		}
+		key := tenant
+		if s.cfg.QoS.Config().FIFO {
+			// The unprotected comparator: one shared sub-queue, so pops
+			// come out in global submission order — true FIFO, not
+			// per-tenant round-robin.
+			key = "\x00fifo"
+		}
+		s.wfq.Push(key, cost, job)
+	} else {
+		select {
+		case s.msaQ <- job:
+		default:
+			s.cfg.Metrics.Add("requests_shed", 1)
+			s.cfg.Metrics.Add(qosReasonCounter(resilience.ShedQueueFull.String()), 1)
+			return "", resilience.ErrOverloaded{Queued: len(s.msaQ), Capacity: cap(s.msaQ)}
+		}
 	}
 	s.jobs[job.id] = job
 	s.order = append(s.order, job)
@@ -631,6 +728,12 @@ func (s *Server) statusLocked(job *Job) JobStatus {
 		ChainsMem:   job.chainsMem,
 		ChainsDisk:  job.chainsDisk,
 		ChainsFresh: job.chainsFresh,
+	}
+	if s.qosEnabled() {
+		st.Tenant = job.tenant
+		if job.qosLevel > qos.LevelNone {
+			st.QoSLevel = job.qosLevel.String()
+		}
 	}
 	if job.err != nil {
 		st.Error = job.err.Error()
@@ -843,6 +946,23 @@ func (s *Server) msaWorker() {
 	defer s.wgA.Done()
 	s.adjustLive(&s.msaLive, 1)
 	defer s.adjustLive(&s.msaLive, -1)
+	if s.wfq != nil {
+		// QoS mode: pop the weighted-fair queue. The sequence number is
+		// allocated under the WFQ lock, so the (job, seq) pairing — and
+		// therefore the dispatch digest — is identical no matter how many
+		// workers race here.
+		for {
+			job, seq, ok := s.wfq.Pop()
+			if !ok {
+				return
+			}
+			s.mu.Lock()
+			job.dispatchSeq = seq
+			s.mu.Unlock()
+			s.cfg.QoS.RecordDispatch(job.tenant, seq)
+			s.runMSAGuarded(job)
+		}
+	}
 	for job := range s.msaQ {
 		s.runMSAGuarded(job)
 	}
@@ -932,9 +1052,20 @@ func (s *Server) runMSA(job *Job, stage *string) {
 	opts := s.pipelineOpts(job)
 	opts.SkipDBs = skip
 	opts.MSACheckpoint = job.checkpoint
-	if s.hedge != nil {
+	if s.hedge != nil && job.qosLevel < qos.LevelHedgeOff {
+		// The first brownout rung: an over-quota request under load runs
+		// without chain-level hedged retries — no backup searches burning
+		// CPU the fair-share tenants need.
 		opts.ChainDone = s.hedge.observe
 		opts.HedgeAfter = s.hedge.budget()
+	}
+	if job.qosLevel >= qos.LevelDropDB {
+		// The deepest non-shed rung: tighten the modeled MSA budget onto
+		// the database-drop degradation ladder (PR 2) — the over-quota
+		// request trades MSA depth for shared-pool time.
+		if b := s.cfg.Budget.MSASeconds; b <= 0 || b > s.cfg.BrownoutMSABudget {
+			opts.Budget.MSASeconds = s.cfg.BrownoutMSABudget
+		}
 	}
 	if s.cfg.Cache != nil {
 		opts.ChainCache = s.chainFetcher(job)
@@ -988,6 +1119,12 @@ func (s *Server) runMSA(job *Job, stage *string) {
 		if mp.Data.RestoredChains > 0 {
 			s.cfg.Metrics.Add("msa_chains_restored", int64(mp.Data.RestoredChains))
 		}
+	}
+	if job.qosLevel > qos.LevelNone {
+		mp.Resilience.Record(resilience.Event{
+			Stage: "msa", Kind: resilience.KindBrownout,
+			Detail: fmt.Sprintf("tenant %s degraded at rung %s", job.tenant, job.qosLevel),
+		})
 	}
 	s.mu.Lock()
 	job.msaPhase = mp
@@ -1068,9 +1205,11 @@ func (s *Server) runInferenceJob(job *Job, b *inferenceBatch, share float64) {
 
 // ErrorClass buckets a request failure for metrics, exit codes and the
 // HTTP API: "panic" (a recovered worker panic), "timeout" (deadline or
-// stage budget), "oom" (the §VI memory gate), "overloaded" (admission
-// shed), "fault" (an injected or storage fault that exhausted its retry
-// budget — including a database that stayed dark), "error" otherwise.
+// stage budget), "oom" (the §VI memory gate), "overloaded-queue-full" /
+// "overloaded-rate-limited" / "overloaded-brownout" (admission shed,
+// classed by resilience.ShedReason), "fault" (an injected or storage
+// fault that exhausted its retry budget — including a database that
+// stayed dark), "error" otherwise.
 func ErrorClass(err error) string {
 	var st resilience.ErrStageTimeout
 	var oom core.ErrProjectedOOM
@@ -1085,7 +1224,7 @@ func ErrorClass(err error) string {
 	case errors.As(err, &oom):
 		return "oom"
 	case resilience.IsOverloaded(err):
-		return "overloaded"
+		return "overloaded-" + resilience.ShedReasonOf(err).String()
 	case errors.As(err, &fe):
 		return "fault"
 	default:

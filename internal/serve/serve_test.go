@@ -184,7 +184,7 @@ func TestDeterministicShed(t *testing.T) {
 	if !resilience.IsOverloaded(err) {
 		t.Fatalf("expected overload, got %v", err)
 	}
-	if ErrorClass(err) != "overloaded" {
+	if ErrorClass(err) != "overloaded-queue-full" {
 		t.Fatalf("ErrorClass = %q", ErrorClass(err))
 	}
 	if got := s.Metrics().Get("requests_shed"); got != 1 {
